@@ -1,0 +1,74 @@
+//! Figure 6 — full 10-hour throughput-vs-time curves.
+//!
+//! (a) TPC-C 2K warehouses, (b) TPC-C 4K warehouses,
+//! (c) TPC-E 20K customers, (d) TPC-E 40K customers;
+//! each with LC, DW, TAC and noSSD. Six-minute buckets, like the paper.
+//!
+//! Expected shape (paper §4.2.1 / §4.3.1):
+//! * LC on TPC-C climbs steeply, then drops when the dirty SSD pages cross
+//!   the λ=50% threshold (~1:50h at 2K, ~2:30h at 4K) and the cleaner
+//!   starts consuming disk bandwidth.
+//! * TPC-E ramps slowly (the SSD fills at the random-read speed of the
+//!   disks); checkpoint dips every ~40 minutes.
+
+use turbopool_bench::{run_hours, run_oltp, OltpKind, RunOptions};
+use turbopool_workload::scenario::Design;
+
+fn panel(name: &str, kind: OltpKind, opts: &RunOptions) {
+    println!("\n== Figure 6 {name} ==");
+    for design in [Design::Lc, Design::Dw, Design::Tac, Design::NoSsd] {
+        let run = run_oltp(kind, design, opts);
+        println!(
+            "\n--- {} (last-hour rate {:.2}/min) ---",
+            design.label(),
+            run.last_hour_per_min
+        );
+        print!("{}", render(&run.series));
+    }
+}
+
+/// Render a (hours, per-minute) series as one line per ~30 buckets.
+fn render(series: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let peak = series.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let step = (series.len() / 25).max(1);
+    for chunk in series.chunks(step) {
+        let h = chunk[0].0;
+        let v = chunk.iter().map(|&(_, v)| v).sum::<f64>() / chunk.len() as f64;
+        let bar = if peak > 0.0 {
+            (v / peak * 48.0).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!("{h:5.1}h {v:8.2} {}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+fn main() {
+    let hours = run_hours();
+    let quick = turbopool_bench::quick();
+    panel(
+        "(a): TPC-C 2K warehouses (tpmC*)",
+        OltpKind::TpcC { warehouses: 20 },
+        &RunOptions::tpcc(hours),
+    );
+    if !quick {
+        panel(
+            "(b): TPC-C 4K warehouses (tpmC*)",
+            OltpKind::TpcC { warehouses: 40 },
+            &RunOptions::tpcc(hours),
+        );
+        panel(
+            "(c): TPC-E 20K customers (trades/min*)",
+            OltpKind::TpcE { customers: 2_000 },
+            &RunOptions::tpce(hours),
+        );
+        panel(
+            "(d): TPC-E 40K customers (trades/min*)",
+            OltpKind::TpcE { customers: 4_000 },
+            &RunOptions::tpce(hours),
+        );
+    }
+    println!("\n(*scaled rates; shapes and crossover times are the comparable quantities.)");
+}

@@ -1,0 +1,148 @@
+//! Criterion microbenchmarks for the SSD manager's data structures and the
+//! engine's hot paths.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use turbopool_bufpool::{Lru2, PageIo};
+use turbopool_core::heaps::{DualHeap, Side};
+use turbopool_core::partition::Partition;
+use turbopool_core::{SsdConfig, SsdDesign, SsdManager};
+use turbopool_engine::{Database, DbConfig};
+use turbopool_iosim::{Clk, DeviceSetup, IoManager, Locality, PageId};
+
+fn bench_dual_heap(c: &mut Criterion) {
+    c.bench_function("dual_heap_insert_pop_1k", |b| {
+        b.iter_batched(
+            || DualHeap::new(1024),
+            |mut h| {
+                for i in 0..1024usize {
+                    let side = if i % 3 == 0 { Side::Dirty } else { Side::Clean };
+                    h.insert(side, ((i as u64 * 7919) % 4096, i as u64), i);
+                }
+                while h.pop_min(Side::Clean).is_some() {}
+                while h.pop_min(Side::Dirty).is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("dual_heap_update_reposition", |b| {
+        let mut h = DualHeap::new(1024);
+        for i in 0..1024usize {
+            h.insert(Side::Clean, (i as u64, 0), i);
+        }
+        let mut stamp = 10_000u64;
+        b.iter(|| {
+            stamp += 1;
+            h.update((stamp % 1024) as usize, (stamp, stamp));
+        })
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    c.bench_function("partition_insert_lookup_remove", |b| {
+        b.iter_batched(
+            || Partition::new(0, 4096),
+            |mut p| {
+                for i in 0..4096u64 {
+                    p.insert(PageId(i * 3), i % 2 == 0, i);
+                }
+                for i in 0..4096u64 {
+                    criterion::black_box(p.lookup(PageId(i * 3)));
+                }
+                for i in 0..4096u64 {
+                    let idx = p.lookup(PageId(i * 3)).unwrap();
+                    p.remove(idx);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lru2(c: &mut Criterion) {
+    c.bench_function("lru2_touch", |b| {
+        let mut l = Lru2::new(8192);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 127) % 8192;
+            criterion::black_box(l.touch(i));
+        })
+    });
+}
+
+fn bench_ssd_manager(c: &mut Criterion) {
+    c.bench_function("ssd_manager_evict_hit_cycle", |b| {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(512, 1 << 20, 1 << 16)));
+        let cfg = SsdConfig::new(SsdDesign::DualWrite, 1 << 16);
+        let m = SsdManager::new(cfg, io);
+        let data = vec![0u8; 512];
+        let mut buf = vec![0u8; 512];
+        let mut clk = Clk::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pid = PageId((i * 7919) % 1_000_000);
+            m.evict_page(clk.now, pid, &data, false, Locality::Random);
+            m.read_page(&mut clk, pid, Locality::Random, &mut buf);
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("btree_upsert_get_txn", |b| {
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.db_pages = 4096;
+        cfg.mem_frames = 512;
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let idx = db.create_index(&mut clk, "i", 2048);
+        let mut k = 0u64;
+        // Bounded key domain: inserts become upserts once the domain is
+        // covered, so the tree (and its extent) stays fixed-size no matter
+        // how many iterations criterion runs.
+        b.iter(|| {
+            k += 1;
+            let mut txn = db.begin(&mut clk);
+            txn.index_insert(idx, (k * 2_654_435_761) % 5_000, k);
+            txn.index_get(idx, (k * 48_271) % 5_000);
+            txn.commit();
+        })
+    });
+
+    c.bench_function("heap_update_txn", |b| {
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.db_pages = 1 << 12;
+        cfg.mem_frames = 512;
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 64, 1 << 10);
+        let rec = [7u8; 64];
+        // Pre-populate a bounded row set, then benchmark updates.
+        let mut txn = db.begin(&mut clk);
+        for _ in 0..1_000 {
+            txn.heap_insert(h, &rec).unwrap();
+        }
+        txn.commit();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let mut txn = db.begin(&mut clk);
+            let mut r = rec;
+            r[0] = k as u8;
+            txn.heap_update(h, k % 1_000, &r);
+            txn.commit();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dual_heap,
+    bench_partition,
+    bench_lru2,
+    bench_ssd_manager,
+    bench_engine
+);
+criterion_main!(benches);

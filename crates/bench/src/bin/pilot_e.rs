@@ -1,0 +1,32 @@
+//! `pilot_e` — quick TPC-E size sweep across designs, for interactive
+//! exploration (the full harness is `--bench fig5`).
+//!
+//! ```sh
+//! cargo run --release -p turbopool-bench --bin pilot_e
+//! ```
+use turbopool_bench::{run_oltp, OltpKind, RunOptions};
+use turbopool_iosim::HOUR;
+use turbopool_workload::scenario::Design;
+
+fn main() {
+    for cust in [1000u64, 2000, 4000] {
+        let opts = RunOptions::tpce(10 * HOUR);
+        let mut base = 0.0;
+        for design in [Design::NoSsd, Design::Dw, Design::Lc, Design::Tac] {
+            let run = run_oltp(OltpKind::TpcE { customers: cust }, design, &opts);
+            if base == 0.0 {
+                base = run.last_hour_per_min;
+            }
+            println!(
+                "{cust} {:6} {:7.3} {:5.1}x hit {:4.2} pool_hr {:5.3} misses {} txns {}",
+                design.label(),
+                run.last_hour_per_min,
+                run.last_hour_per_min / base,
+                run.ssd.map(|m| m.hit_rate()).unwrap_or(0.0),
+                run.pool.hit_rate(),
+                run.pool.misses,
+                run.metric.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! LRU-2 access history (O'Neil et al., SIGMOD 1993).
+//!
+//! LRU-2 evicts the page whose *second-to-last* access is oldest, which
+//! filters out pages touched exactly once by a scan. The paper uses LRU-2
+//! both implicitly in its host DBMS's memory pool and explicitly as the SSD
+//! replacement policy (§2.2), so the history tracker is shared: this module
+//! keeps per-slot (last, previous) access stamps, and each pool builds its
+//! own victim-selection structure on top (a lazy heap here; the paper's
+//! clean/dirty heap array in `turbopool-core`).
+
+/// Logical access stamps for a fixed set of slots.
+///
+/// Stamps come from a monotonically increasing access counter rather than
+/// virtual time: LRU-2 only needs a total order of accesses, and a counter
+/// is immune to the virtual clock's uneven progress across clients.
+#[derive(Debug)]
+pub struct Lru2 {
+    /// `hist[slot] = (last, prev)`; 0 means "never".
+    hist: Vec<(u64, u64)>,
+    counter: u64,
+}
+
+/// The LRU-2 priority of a slot: its penultimate-access stamp, with the last
+/// access as a tie-break. Lower sorts as "evict first".
+pub type KDist = (u64, u64);
+
+impl Lru2 {
+    pub fn new(slots: usize) -> Self {
+        Lru2 {
+            hist: vec![(0, 0); slots],
+            counter: 0,
+        }
+    }
+
+    /// Record an access to `slot`; returns the slot's new priority.
+    pub fn touch(&mut self, slot: usize) -> KDist {
+        self.counter += 1;
+        let (last, _) = self.hist[slot];
+        self.hist[slot] = (self.counter, last);
+        self.kdist(slot)
+    }
+
+    /// Seed `slot` with retained history `(last, prev)` from a previous
+    /// residency of the same page (O'Neil's Retained Information Period):
+    /// the next [`Lru2::touch`] then yields a non-empty penultimate stamp,
+    /// so re-referenced pages are not mistaken for scan-once pages.
+    pub fn seed(&mut self, slot: usize, last: u64, prev: u64) {
+        self.hist[slot] = (last, prev);
+    }
+
+    /// Forget `slot`'s history (the slot was freed / re-used for a new page).
+    pub fn reset(&mut self, slot: usize) {
+        self.hist[slot] = (0, 0);
+    }
+
+    /// Current priority of `slot`: `(prev, last)`. Slots accessed once have
+    /// `prev == 0` and are preferred victims, oldest single access first.
+    #[inline]
+    pub fn kdist(&self, slot: usize) -> KDist {
+        let (last, prev) = self.hist[slot];
+        (prev, last)
+    }
+
+    /// The last-access stamp of `slot` (0 if never accessed).
+    #[inline]
+    pub fn last(&self, slot: usize) -> u64 {
+        self.hist[slot].0
+    }
+
+    /// The access counter value (total touches so far).
+    pub fn accesses(&self) -> u64 {
+        self.counter
+    }
+
+    /// Number of tracked slots.
+    pub fn len(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// True when tracking zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.hist.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_accessed_slots_sort_before_twice_accessed() {
+        let mut l = Lru2::new(3);
+        l.touch(0); // stamps (1, 0)
+        l.touch(1); // (2, 0)
+        l.touch(0); // (3, 1)
+                    // Slot 1 was touched once -> prev = 0 -> smallest kdist.
+        assert!(l.kdist(1) < l.kdist(0));
+    }
+
+    #[test]
+    fn penultimate_access_decides_among_hot_slots() {
+        let mut l = Lru2::new(2);
+        l.touch(0); // 1
+        l.touch(1); // 2
+        l.touch(0); // 3 -> slot0 (prev=1)
+        l.touch(1); // 4 -> slot1 (prev=2)
+                    // Both touched twice; slot 0's penultimate (1) < slot 1's (2).
+        assert!(l.kdist(0) < l.kdist(1));
+        // A scan-like single re-touch of slot 0 updates prev to 3.
+        l.touch(0);
+        assert!(l.kdist(1) < l.kdist(0));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut l = Lru2::new(1);
+        l.touch(0);
+        l.touch(0);
+        l.reset(0);
+        assert_eq!(l.kdist(0), (0, 0));
+        assert_eq!(l.last(0), 0);
+    }
+
+    #[test]
+    fn tie_break_by_last_access() {
+        let mut l = Lru2::new(2);
+        l.touch(0); // (1,0)
+        l.touch(1); // (2,0)
+                    // Same prev (0); older last access (slot 0) evicts first.
+        assert!(l.kdist(0) < l.kdist(1));
+    }
+}

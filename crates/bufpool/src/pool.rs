@@ -1,0 +1,666 @@
+//! The buffer pool proper: frames, hash table, LRU-2 replacement, guards.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use turbopool_iosim::{Clk, Locality, PageBuf, PageId, Time};
+
+use crate::lru2::{KDist, Lru2};
+use crate::readahead::{Classifier, ClassifierKind, ClassifierStats};
+use crate::traits::PageIo;
+
+/// Buffer pool sizing and behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct BufferPoolConfig {
+    /// Number of page frames (the paper dedicates 20 GB of DRAM).
+    pub frames: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Total pages in the database (bounds fill expansion and read-ahead).
+    pub db_pages: u64,
+    /// Until the pool first fills, expand every single-page miss into a run
+    /// of this many pages — the host-DBMS behaviour the paper observes in
+    /// §4.3.2 ("expands every single-page read request to an 8 page request
+    /// until the buffer pool is filled"). `<= 1` disables.
+    pub fill_expansion: u64,
+    /// How page accesses are classified random/sequential (§2.2).
+    pub classifier: ClassifierKind,
+}
+
+impl BufferPoolConfig {
+    pub fn new(frames: usize, page_size: usize, db_pages: u64) -> Self {
+        BufferPoolConfig {
+            frames,
+            page_size,
+            db_pages,
+            fill_expansion: 8,
+            classifier: ClassifierKind::ReadAhead,
+        }
+    }
+}
+
+/// Buffer pool counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions_clean: u64,
+    pub evictions_dirty: u64,
+    pub prefetched_pages: u64,
+    pub expanded_fill_pages: u64,
+    pub checkpoint_writes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of `get` calls served from memory.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FrameMeta {
+    pid: Option<PageId>,
+    dirty: bool,
+    pin: u32,
+    class: Locality,
+}
+
+impl FrameMeta {
+    fn empty() -> Self {
+        FrameMeta {
+            pid: None,
+            dirty: false,
+            pin: 0,
+            class: Locality::Random,
+        }
+    }
+}
+
+struct Inner {
+    map: HashMap<PageId, usize>,
+    meta: Vec<FrameMeta>,
+    free: Vec<usize>,
+    lru: Lru2,
+    /// Retained LRU-2 history of evicted pages (O'Neil's Retained
+    /// Information Period): re-referenced pages keep their penultimate
+    /// access stamp across evictions, so a hot page that was pushed out
+    /// does not re-enter looking like a scan-once page (which would make
+    /// it the immediate next victim). Bounded to a multiple of the frame
+    /// count.
+    hist: HashMap<PageId, (u64, u64)>,
+    /// Lazy min-heap of `(kdist, slot)`; entries are revalidated on pop.
+    heap: BinaryHeap<Reverse<(KDist, usize)>>,
+    filled_once: bool,
+    stats: PoolStats,
+    classifier: Classifier,
+}
+
+impl Inner {
+    fn touch(&mut self, slot: usize) {
+        let kd = self.lru.touch(slot);
+        self.heap.push(Reverse((kd, slot)));
+    }
+
+    /// Restore retained history for a page being (re)installed in `slot`.
+    fn adopt_history(&mut self, slot: usize, pid: PageId) {
+        if let Some((last, prev)) = self.hist.remove(&pid) {
+            self.lru.seed(slot, last, prev);
+        }
+    }
+
+    /// Remember the evicted page's stamps, pruning the retained set to
+    /// 8x the frame count by dropping the stalest half.
+    fn retain_history(&mut self, pid: PageId, last: u64, prev: u64) {
+        self.hist.insert(pid, (last, prev));
+        let cap = 8 * self.meta.len();
+        if self.hist.len() > cap {
+            let mut lasts: Vec<u64> = self.hist.values().map(|&(l, _)| l).collect();
+            let mid = lasts.len() / 2;
+            let (_, &mut median, _) = lasts.select_nth_unstable(mid);
+            self.hist.retain(|_, &mut (l, _)| l >= median);
+        }
+    }
+
+    /// Pick and vacate a victim frame. Returns `(slot, evicted meta, data
+    /// must be flushed by caller)`. Panics if every frame is pinned.
+    fn select_victim(&mut self) -> usize {
+        loop {
+            match self.heap.pop() {
+                Some(Reverse((kd, slot))) => {
+                    let m = &self.meta[slot];
+                    if m.pid.is_some() && m.pin == 0 && self.lru.kdist(slot) == kd {
+                        return slot;
+                    }
+                    // Stale entry (re-touched, freed, or pinned): skip.
+                }
+                None => {
+                    // All entries were stale; rebuild from live metadata.
+                    let mut rebuilt = false;
+                    for slot in 0..self.meta.len() {
+                        let m = &self.meta[slot];
+                        if m.pid.is_some() && m.pin == 0 {
+                            self.heap.push(Reverse((self.lru.kdist(slot), slot)));
+                            rebuilt = true;
+                        }
+                    }
+                    assert!(rebuilt, "buffer pool exhausted: every frame is pinned");
+                }
+            }
+        }
+    }
+}
+
+/// The main-memory buffer pool.
+///
+/// Thread-safe for the discrete-event usage pattern of this workspace (one
+/// logical client active at a time, many logical clients interleaved).
+pub struct BufferPool {
+    cfg: BufferPoolConfig,
+    layer: Arc<dyn PageIo>,
+    inner: Mutex<Inner>,
+    data: Vec<RwLock<PageBuf>>,
+}
+
+impl BufferPool {
+    pub fn new(cfg: BufferPoolConfig, layer: Arc<dyn PageIo>) -> Self {
+        assert!(cfg.frames > 0, "pool needs at least one frame");
+        let mut data = Vec::with_capacity(cfg.frames);
+        data.resize_with(cfg.frames, || RwLock::new(PageBuf::zeroed(cfg.page_size)));
+        BufferPool {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(cfg.frames),
+                meta: vec![FrameMeta::empty(); cfg.frames],
+                free: (0..cfg.frames).rev().collect(),
+                lru: Lru2::new(cfg.frames),
+                hist: HashMap::new(),
+                heap: BinaryHeap::new(),
+                filled_once: false,
+                stats: PoolStats::default(),
+                classifier: Classifier::new(cfg.classifier),
+            }),
+            data,
+            cfg,
+            layer,
+        }
+    }
+
+    pub fn config(&self) -> &BufferPoolConfig {
+        &self.cfg
+    }
+
+    /// Pin page `pid`, reading it from below on a miss. `declared` is the
+    /// access method's ground-truth locality (index lookup = random, scan =
+    /// sequential); the pool's classifier decides the *assigned* class that
+    /// drives SSD admission.
+    pub fn get(&self, clk: &mut Clk, pid: PageId, declared: Locality) -> PageGuard<'_> {
+        debug_assert!(pid.0 < self.cfg.db_pages, "page {pid} beyond database");
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&pid) {
+            inner.meta[slot].pin += 1;
+            inner.touch(slot);
+            inner.stats.hits += 1;
+            // A hit still teaches the proximity classifier the access
+            // pattern it would have observed at the I/O layer.
+            inner.classifier.observe_hit(pid);
+            return PageGuard {
+                pool: self,
+                slot,
+                pid,
+            };
+        }
+        inner.stats.misses += 1;
+        let assigned = inner.classifier.classify_miss(pid, declared);
+
+        // Pool-fill expansion: while the pool has never been full, a miss
+        // fetches a run instead of one page.
+        let expand = if !inner.filled_once && self.cfg.fill_expansion > 1 {
+            let run = self
+                .cfg
+                .fill_expansion
+                .min(self.cfg.db_pages - pid.0)
+                .min(inner.free.len() as u64 + 1);
+            run.max(1)
+        } else {
+            1
+        };
+
+        let slot = self.vacate_slot(&mut inner, clk.now);
+        inner.meta[slot] = FrameMeta {
+            pid: Some(pid),
+            dirty: false,
+            pin: 1,
+            class: assigned,
+        };
+        inner.map.insert(pid, slot);
+        inner.adopt_history(slot, pid);
+        inner.touch(slot);
+
+        if expand > 1 {
+            drop(inner);
+            let pages = self.layer.read_run(clk, pid, expand);
+            self.data[slot].write().copy_from(pages[0].as_slice());
+            let mut inner = self.inner.lock();
+            for (i, page) in pages.into_iter().enumerate().skip(1) {
+                let extra = pid.offset(i as u64);
+                if inner.map.contains_key(&extra) {
+                    continue;
+                }
+                let Some(s) = inner.free.pop() else { break };
+                inner.meta[s] = FrameMeta {
+                    pid: Some(extra),
+                    dirty: false,
+                    pin: 0,
+                    // Expansion pages were not individually requested; they
+                    // are opportunistic fill, classified random like the
+                    // triggering request.
+                    class: Locality::Random,
+                };
+                inner.map.insert(extra, s);
+                inner.adopt_history(s, extra);
+                inner.touch(s);
+                inner.stats.expanded_fill_pages += 1;
+                self.data[s].write().copy_from(page.as_slice());
+            }
+            if inner.free.is_empty() {
+                inner.filled_once = true;
+            }
+        } else {
+            drop(inner);
+            let mut buf = self.data[slot].write();
+            self.layer.read_page(clk, pid, assigned, buf.as_mut_slice());
+        }
+
+        PageGuard {
+            pool: self,
+            slot,
+            pid,
+        }
+    }
+
+    /// Pin a *fresh* page that has never been written: installs a zeroed,
+    /// dirty frame without any read I/O (page allocation path).
+    pub fn create(&self, now: Time, pid: PageId) -> PageGuard<'_> {
+        debug_assert!(pid.0 < self.cfg.db_pages, "page {pid} beyond database");
+        let mut inner = self.inner.lock();
+        assert!(
+            !inner.map.contains_key(&pid),
+            "create() of resident page {pid}"
+        );
+        let slot = self.vacate_slot(&mut inner, now);
+        inner.meta[slot] = FrameMeta {
+            pid: Some(pid),
+            dirty: true,
+            pin: 1,
+            class: Locality::Random,
+        };
+        inner.map.insert(pid, slot);
+        inner.adopt_history(slot, pid);
+        inner.touch(slot);
+        drop(inner);
+        self.layer.note_dirtied(now, pid);
+        self.data[slot].write().as_mut_slice().fill(0);
+        PageGuard {
+            pool: self,
+            slot,
+            pid,
+        }
+    }
+
+    /// Read-ahead: fetch the run `first .. first + n` below and install any
+    /// pages not already resident, unpinned and classified *sequential*.
+    pub fn prefetch_run(&self, clk: &mut Clk, first: PageId, n: u64) {
+        assert!(first.0 + n <= self.cfg.db_pages, "prefetch beyond database");
+        if n == 0 {
+            return;
+        }
+        let pages = self.layer.read_run(clk, first, n);
+        let mut inner = self.inner.lock();
+        for (i, page) in pages.into_iter().enumerate() {
+            let pid = first.offset(i as u64);
+            if inner.map.contains_key(&pid) {
+                continue;
+            }
+            let assigned = inner.classifier.classify_prefetch(pid);
+            let slot = self.vacate_slot(&mut inner, clk.now);
+            inner.meta[slot] = FrameMeta {
+                pid: Some(pid),
+                dirty: false,
+                pin: 0,
+                class: assigned,
+            };
+            inner.map.insert(pid, slot);
+            inner.adopt_history(slot, pid);
+            // Double-touch: a single touch would leave the page with an
+            // empty penultimate stamp, making it LRU-2's preferred victim —
+            // and a full pool would evict read-ahead pages before the scan
+            // consumes them, degrading every scan page to a random read.
+            // Stamping twice protects the page until older scan pages (in
+            // install order) have been reclaimed, like the read-ahead page
+            // protection of a production buffer manager.
+            inner.touch(slot);
+            inner.touch(slot);
+            inner.stats.prefetched_pages += 1;
+            self.data[slot].write().copy_from(page.as_slice());
+        }
+    }
+
+    /// Obtain a free slot, evicting the LRU-2 victim if necessary. The
+    /// evicted page is handed to the storage layer (write-behind).
+    fn vacate_slot(&self, inner: &mut Inner, now: Time) -> usize {
+        if let Some(slot) = inner.free.pop() {
+            return slot;
+        }
+        inner.filled_once = true;
+        let slot = inner.select_victim();
+        let m = inner.meta[slot];
+        let victim = m.pid.expect("victim has a page");
+        inner.map.remove(&victim);
+        let (prev, last) = inner.lru.kdist(slot);
+        inner.retain_history(victim, last, prev);
+        inner.lru.reset(slot);
+        if m.dirty {
+            inner.stats.evictions_dirty += 1;
+        } else {
+            inner.stats.evictions_clean += 1;
+        }
+        // No pin: nobody holds the data buffer; hand it below. Eviction
+        // writes are asynchronous: device time is charged at `now` but the
+        // caller does not wait.
+        let data = self.data[slot].read();
+        self.layer
+            .evict_page(now, victim, data.as_slice(), m.dirty, m.class);
+        drop(data);
+        inner.meta[slot] = FrameMeta::empty();
+        slot
+    }
+
+    /// Sharp checkpoint of the memory pool: write every dirty page below
+    /// (asynchronously), wait for the slowest write, then ask the layer to
+    /// flush anything *it* holds dirty (the SSD, under LC).
+    pub fn checkpoint(&self, clk: &mut Clk) {
+        let dirty: Vec<(usize, PageId, Locality)> = {
+            let inner = self.inner.lock();
+            inner
+                .meta
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, m)| {
+                    let pid = m.pid?;
+                    (m.dirty && m.pin == 0).then_some((slot, pid, m.class))
+                })
+                .collect()
+        };
+        let mut done = clk.now;
+        for (slot, pid, class) in dirty {
+            let data = self.data[slot].read();
+            let t = self
+                .layer
+                .checkpoint_write(clk.now, pid, data.as_slice(), class);
+            drop(data);
+            done = done.max(t);
+            let mut inner = self.inner.lock();
+            // Revalidate: the frame may have been recycled meanwhile.
+            if inner.meta[slot].pid == Some(pid) {
+                inner.meta[slot].dirty = false;
+            }
+            inner.stats.checkpoint_writes += 1;
+        }
+        clk.wait_until(done);
+        self.layer.checkpoint_flush(clk);
+    }
+
+    /// True if `pid` is resident.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.inner.lock().map.contains_key(&pid)
+    }
+
+    /// True if `pid` is resident and dirty.
+    pub fn is_dirty(&self, pid: PageId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .get(&pid)
+            .map(|&s| inner.meta[s].dirty)
+            .unwrap_or(false)
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Number of dirty resident pages.
+    pub fn dirty_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .meta
+            .iter()
+            .filter(|m| m.pid.is_some() && m.dirty)
+            .count()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Classifier confusion-matrix snapshot (§2.2 accuracy experiment).
+    pub fn classifier_stats(&self) -> ClassifierStats {
+        self.inner.lock().classifier.stats()
+    }
+
+    fn unpin(&self, slot: usize) {
+        let mut inner = self.inner.lock();
+        let m = &mut inner.meta[slot];
+        debug_assert!(m.pin > 0, "unpin of unpinned frame");
+        m.pin -= 1;
+    }
+
+    fn mark_dirty(&self, slot: usize, pid: PageId, now: Time) {
+        let mut inner = self.inner.lock();
+        let m = &mut inner.meta[slot];
+        debug_assert_eq!(m.pid, Some(pid));
+        if !m.dirty {
+            m.dirty = true;
+            drop(inner);
+            // First dirtying invalidates any SSD copy (paper §2.2).
+            self.layer.note_dirtied(now, pid);
+        }
+    }
+}
+
+/// A pinned page. Dropping the guard unpins the frame.
+pub struct PageGuard<'a> {
+    pool: &'a BufferPool,
+    slot: usize,
+    pid: PageId,
+}
+
+impl PageGuard<'_> {
+    pub fn pid(&self) -> PageId {
+        self.pid
+    }
+
+    /// Read access to the page bytes.
+    pub fn read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(self.pool.data[self.slot].read().as_slice())
+    }
+
+    /// Write access to the page bytes; marks the page dirty and invalidates
+    /// any SSD copy on the first dirtying.
+    pub fn write<R>(&mut self, now: Time, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let r = f(self.pool.data[self.slot].write().as_mut_slice());
+        self.pool.mark_dirty(self.slot, self.pid, now);
+        r
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::DirectIo;
+    use turbopool_iosim::{DeviceSetup, IoManager};
+
+    const PS: usize = 32;
+
+    fn pool(frames: usize, db_pages: u64) -> (Arc<IoManager>, BufferPool) {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, db_pages, 8)));
+        let layer = Arc::new(DirectIo::new(Arc::clone(&io)));
+        let mut cfg = BufferPoolConfig::new(frames, PS, db_pages);
+        cfg.fill_expansion = 1; // keep unit tests one-page-per-miss
+        (io, BufferPool::new(cfg, layer))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (_io, p) = pool(4, 64);
+        let mut clk = Clk::new();
+        {
+            let g = p.get(&mut clk, PageId(1), Locality::Random);
+            assert_eq!(g.pid(), PageId(1));
+        }
+        let t_after_miss = clk.now;
+        assert!(t_after_miss > 0);
+        {
+            let _g = p.get(&mut clk, PageId(1), Locality::Random);
+        }
+        assert_eq!(clk.now, t_after_miss, "hit is free of I/O time");
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn writes_round_trip_through_eviction() {
+        let (_io, p) = pool(2, 64);
+        let mut clk = Clk::new();
+        {
+            let mut g = p.get(&mut clk, PageId(0), Locality::Random);
+            g.write(clk.now, |b| b[0] = 0xEE);
+        }
+        // Force page 0 out with two more pages.
+        p.get(&mut clk, PageId(1), Locality::Random);
+        p.get(&mut clk, PageId(2), Locality::Random);
+        assert!(!p.contains(PageId(0)));
+        assert_eq!(p.stats().evictions_dirty, 1);
+        // Re-read from disk: the dirty eviction wrote it back.
+        let g = p.get(&mut clk, PageId(0), Locality::Random);
+        assert_eq!(g.read(|b| b[0]), 0xEE);
+    }
+
+    #[test]
+    fn lru2_prefers_scanned_once_pages() {
+        let (_io, p) = pool(3, 64);
+        let mut clk = Clk::new();
+        // Page 0 is hot (touched twice), pages 1 and 2 touched once.
+        p.get(&mut clk, PageId(0), Locality::Random);
+        p.get(&mut clk, PageId(0), Locality::Random);
+        p.get(&mut clk, PageId(1), Locality::Random);
+        p.get(&mut clk, PageId(2), Locality::Random);
+        // Pool full; a new page must evict 1 or 2, not the hot page 0.
+        p.get(&mut clk, PageId(3), Locality::Random);
+        assert!(p.contains(PageId(0)));
+        assert!(!p.contains(PageId(1)), "oldest once-touched page evicted");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_victims() {
+        let (_io, p) = pool(2, 64);
+        let mut clk = Clk::new();
+        let _held = p.get(&mut clk, PageId(0), Locality::Random);
+        p.get(&mut clk, PageId(1), Locality::Random);
+        p.get(&mut clk, PageId(2), Locality::Random); // must evict 1, not 0
+        assert!(p.contains(PageId(0)));
+        assert!(!p.contains(PageId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "every frame is pinned")]
+    fn all_pinned_pool_panics() {
+        let (_io, p) = pool(1, 64);
+        let mut clk = Clk::new();
+        let _g = p.get(&mut clk, PageId(0), Locality::Random);
+        let _h = p.get(&mut clk, PageId(1), Locality::Random);
+    }
+
+    #[test]
+    fn create_skips_read_io_and_is_dirty() {
+        let (io, p) = pool(2, 64);
+        let g = p.create(0, PageId(9));
+        drop(g);
+        assert_eq!(io.disk_stats().read_ops, 0);
+        assert!(p.is_dirty(PageId(9)));
+    }
+
+    #[test]
+    fn prefetch_installs_unpinned_sequential_pages() {
+        let (io, p) = pool(8, 64);
+        let mut clk = Clk::new();
+        p.prefetch_run(&mut clk, PageId(0), 4);
+        assert_eq!(p.resident(), 4);
+        assert_eq!(p.stats().prefetched_pages, 4);
+        // One multi-page request, not four single reads.
+        assert!(io.disk_stats().read_ops <= 4);
+        let before = p.stats().misses;
+        p.get(&mut clk, PageId(2), Locality::Sequential);
+        assert_eq!(p.stats().misses, before, "prefetched page is a hit");
+    }
+
+    #[test]
+    fn checkpoint_flushes_all_dirty_pages() {
+        let (io, p) = pool(4, 64);
+        let mut clk = Clk::new();
+        for i in 0..3u64 {
+            let mut g = p.get(&mut clk, PageId(i), Locality::Random);
+            g.write(clk.now, |b| b[0] = i as u8 + 1);
+        }
+        assert_eq!(p.dirty_count(), 3);
+        let writes_before = io.disk_stats().write_ops;
+        p.checkpoint(&mut clk);
+        assert_eq!(p.dirty_count(), 0);
+        assert_eq!(io.disk_stats().write_ops - writes_before, 3);
+        // Disk now holds the new contents.
+        let mut buf = [0u8; PS];
+        io.disk_store().read(PageId(2), &mut buf);
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn fill_expansion_reads_runs_until_full() {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 64, 8)));
+        let layer = Arc::new(DirectIo::new(Arc::clone(&io)));
+        let mut cfg = BufferPoolConfig::new(16, PS, 64);
+        cfg.fill_expansion = 8;
+        let p = BufferPool::new(cfg, layer);
+        let mut clk = Clk::new();
+        p.get(&mut clk, PageId(10), Locality::Random);
+        // One miss installed 8 pages (1 requested + 7 expansion).
+        assert_eq!(p.resident(), 8);
+        assert_eq!(p.stats().expanded_fill_pages, 7);
+        assert!(p.contains(PageId(17)));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+}

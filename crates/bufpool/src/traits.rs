@@ -1,0 +1,131 @@
+//! The seam between the buffer manager and the storage layers below it.
+
+use std::sync::Arc;
+
+use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
+
+/// Everything the buffer manager needs from the storage stack below it.
+///
+/// In the paper's architecture (Figure 1) the buffer manager talks to the
+/// SSD manager, which talks to the disk manager. This trait is that
+/// interface: the SSD manager (`turbopool-core`) implements it by
+/// interposing the SSD cache, and [`DirectIo`] implements it by going
+/// straight to disk (the `noSSD` baseline).
+pub trait PageIo: Send + Sync {
+    /// Read one page, from the SSD if cached there, else from disk. `class`
+    /// is the buffer manager's random/sequential classification of this
+    /// access (the SSD admission signal).
+    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]);
+
+    /// Read the consecutive run `first .. first + n` (read-ahead / pool-fill
+    /// expansion path). Implementations may trim leading/trailing pages that
+    /// are SSD-resident (paper §3.3.3) but must return all `n` pages in
+    /// order.
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf>;
+
+    /// A page was evicted from the memory pool. The implementation decides
+    /// where it goes (SSD and/or disk) per its design; writes are
+    /// asynchronous — device time is consumed but the caller's clock does
+    /// not wait.
+    fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, class: Locality);
+
+    /// The in-memory copy of `pid` was just dirtied; any SSD copy is now
+    /// stale and must be invalidated (paper §2.2).
+    fn note_dirtied(&self, now: Time, pid: PageId);
+
+    /// Write one dirty page out during a sharp checkpoint of the *memory*
+    /// pool. Under DW this also mirrors random-class pages to the SSD
+    /// (paper §3.2). Returns the async completion time.
+    fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], class: Locality) -> Time;
+
+    /// Flush any dirty pages held *below* the memory pool (only LC holds
+    /// them, in the SSD). Called after the memory pool's checkpoint flush.
+    fn checkpoint_flush(&self, clk: &mut Clk);
+
+    /// True if the layer holds a cached copy of `pid` (any validity). The
+    /// engine uses this to decide whether a never-materialized disk page is
+    /// genuinely fresh (formattable in memory with no read I/O).
+    fn has_copy(&self, _pid: PageId) -> bool {
+        false
+    }
+
+    /// Inform the layer of the virtual-time window a sharp checkpoint
+    /// occupied. LC stops caching newly-evicted dirty pages during this
+    /// window (§3.2: "during a checkpoint, LC stops caching new dirty
+    /// pages ... to simplify the implementation").
+    fn checkpoint_window(&self, _start: Time, _end: Time) {}
+}
+
+/// Direct-to-disk storage layer: the paper's `noSSD` baseline.
+pub struct DirectIo {
+    io: Arc<IoManager>,
+}
+
+impl DirectIo {
+    pub fn new(io: Arc<IoManager>) -> Self {
+        DirectIo { io }
+    }
+}
+
+impl PageIo for DirectIo {
+    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]) {
+        self.io.read_disk(clk, pid, buf, class);
+    }
+
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf> {
+        self.io.read_disk_run(clk, first, n, Locality::Sequential)
+    }
+
+    fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, _class: Locality) {
+        if dirty {
+            self.io.write_disk_async(now, pid, data, Locality::Random);
+        }
+    }
+
+    fn note_dirtied(&self, _now: Time, _pid: PageId) {}
+
+    fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) -> Time {
+        self.io.write_disk_async(now, pid, data, Locality::Random)
+    }
+
+    fn checkpoint_flush(&self, _clk: &mut Clk) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbopool_iosim::DeviceSetup;
+
+    fn direct() -> (Arc<IoManager>, DirectIo) {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(32, 64, 8)));
+        (Arc::clone(&io), DirectIo::new(io))
+    }
+
+    #[test]
+    fn read_page_goes_to_disk() {
+        let (io, d) = direct();
+        io.write_disk_async(0, PageId(3), &[7u8; 32], Locality::Random);
+        let mut clk = Clk::new();
+        let mut buf = [0u8; 32];
+        d.read_page(&mut clk, PageId(3), Locality::Random, &mut buf);
+        assert_eq!(buf[0], 7);
+        assert!(clk.now > 0);
+    }
+
+    #[test]
+    fn clean_evictions_are_free() {
+        let (io, d) = direct();
+        d.evict_page(0, PageId(1), &[0u8; 32], false, Locality::Random);
+        assert_eq!(io.disk_stats().write_ops, 0);
+        d.evict_page(0, PageId(1), &[0u8; 32], true, Locality::Random);
+        assert_eq!(io.disk_stats().write_ops, 1);
+    }
+
+    #[test]
+    fn read_run_returns_all_pages() {
+        let (_io, d) = direct();
+        let mut clk = Clk::new();
+        let pages = d.read_run(&mut clk, PageId(0), 5);
+        assert_eq!(pages.len(), 5);
+    }
+}

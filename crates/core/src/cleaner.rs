@@ -1,0 +1,144 @@
+//! The lazy-cleaning background thread (§2.3.3, §3.3.5).
+//!
+//! The cleaner wakes when the number of dirty SSD pages exceeds the λ
+//! high-water mark and flushes group-cleaning batches until the count drops
+//! slightly below it (the paper drains to about 0.01% of the SSD below λ).
+//! In the discrete-event driver the cleaner is a pseudo-client: each call
+//! to [`LazyCleaner::step`] performs at most one batch on the cleaner's own
+//! virtual clock, so its I/O competes with foreground transactions for
+//! device time — which is exactly the throughput cliff of Figure 6.
+
+use std::sync::Arc;
+
+use turbopool_iosim::{Clk, Time, MILLISECOND};
+
+use crate::manager::SsdManager;
+
+/// What a cleaner step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanerStep {
+    /// Dirty count was at or below the high-water mark; nothing done. The
+    /// caller should sleep for [`LazyCleaner::poll_interval`].
+    Idle,
+    /// One group-cleaning batch of this many pages was flushed.
+    Cleaned(usize),
+}
+
+/// Driver-facing handle for the LC cleaner thread.
+pub struct LazyCleaner {
+    mgr: Arc<SsdManager>,
+    /// Keep cleaning until the dirty count reaches this (λ − slack).
+    low_water: u64,
+    /// Wake-up threshold (λ).
+    high_water: u64,
+    /// Below the high-water mark we are draining toward the low-water mark.
+    draining: bool,
+}
+
+impl LazyCleaner {
+    pub fn new(mgr: Arc<SsdManager>) -> Self {
+        let cfg = mgr.config();
+        LazyCleaner {
+            low_water: cfg.dirty_low_water(),
+            high_water: cfg.dirty_high_water(),
+            mgr,
+            draining: false,
+        }
+    }
+
+    /// How long the cleaner sleeps between polls when idle.
+    pub fn poll_interval(&self) -> Time {
+        100 * MILLISECOND
+    }
+
+    /// Run at most one cleaning batch.
+    pub fn step(&mut self, clk: &mut Clk) -> CleanerStep {
+        let dirty = self.mgr.dirty_count();
+        if self.draining {
+            if dirty <= self.low_water {
+                self.draining = false;
+                return CleanerStep::Idle;
+            }
+        } else if dirty <= self.high_water {
+            return CleanerStep::Idle;
+        } else {
+            self.draining = true;
+        }
+        let n = self.mgr.clean_batch(clk);
+        if n == 0 {
+            self.draining = false;
+            CleanerStep::Idle
+        } else {
+            CleanerStep::Cleaned(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SsdConfig, SsdDesign};
+    use turbopool_bufpool::PageIo;
+    use turbopool_iosim::{DeviceSetup, IoManager, Locality, PageId};
+
+    const PS: usize = 32;
+
+    fn lc(frames: u64, lambda: f64, alpha: u64) -> (Arc<SsdManager>, LazyCleaner) {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 4096, frames)));
+        let mut cfg = SsdConfig::new(SsdDesign::LazyCleaning, frames);
+        cfg.lambda = lambda;
+        cfg.alpha = alpha;
+        cfg.partitions = 1;
+        cfg.lambda_slack = 0.05;
+        let mgr = Arc::new(SsdManager::new(cfg, io));
+        let cleaner = LazyCleaner::new(Arc::clone(&mgr));
+        (mgr, cleaner)
+    }
+
+    #[test]
+    fn idle_below_high_water() {
+        let (mgr, mut cleaner) = lc(100, 0.5, 8);
+        for i in 0..50u64 {
+            mgr.evict_page(0, PageId(i), &[1u8; PS], true, Locality::Random);
+        }
+        // Exactly at the high-water mark (50): still idle.
+        let mut clk = Clk::new();
+        assert_eq!(cleaner.step(&mut clk), CleanerStep::Idle);
+        assert_eq!(clk.now, 0);
+    }
+
+    #[test]
+    fn drains_to_low_water_once_triggered() {
+        let (mgr, mut cleaner) = lc(100, 0.5, 8);
+        for i in 0..60u64 {
+            mgr.evict_page(0, PageId(i), &[1u8; PS], true, Locality::Random);
+        }
+        let mut clk = Clk::new();
+        let mut cleaned = 0usize;
+        loop {
+            match cleaner.step(&mut clk) {
+                CleanerStep::Idle => break,
+                CleanerStep::Cleaned(n) => cleaned += n,
+            }
+        }
+        // low water = (0.5 - 0.05) * 100 = 45.
+        assert!(mgr.dirty_count() <= 45, "dirty={}", mgr.dirty_count());
+        assert!(cleaned >= 15);
+        assert!(clk.now > 0, "cleaning consumed virtual time");
+        // Once drained it is idle again even though dirty > 0.
+        assert_eq!(cleaner.step(&mut clk), CleanerStep::Idle);
+    }
+
+    #[test]
+    fn batches_bounded_by_alpha() {
+        let (mgr, mut cleaner) = lc(100, 0.1, 4);
+        for i in 0..40u64 {
+            mgr.evict_page(0, PageId(i), &[1u8; PS], true, Locality::Random);
+        }
+        let mut clk = Clk::new();
+        match cleaner.step(&mut clk) {
+            CleanerStep::Cleaned(n) => assert!(n <= 4),
+            CleanerStep::Idle => panic!("should clean"),
+        }
+    }
+}

@@ -1,0 +1,958 @@
+//! The SSD manager for the paper's three designs (CW, DW, LC).
+//!
+//! Implements [`PageIo`], interposing the SSD between the buffer manager
+//! and the disk manager. Pages enter the SSD when they are evicted from the
+//! memory pool (never on read — that is TAC's flow, see `tac.rs`), guarded
+//! by the admission policy (randomly-read pages only, except during the
+//! aggressive-filling phase) and the throttle control. Replacement is LRU-2
+//! over the clean heap; dirty pages (LC only) are protected from
+//! replacement until the lazy cleaner or a checkpoint flushes them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+use turbopool_bufpool::PageIo;
+use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
+
+use crate::config::{MultiPageMode, SsdConfig, SsdDesign};
+use crate::metrics::SsdMetrics;
+use crate::partition::Partition;
+
+/// SSD buffer-pool manager implementing clean-write, dual-write and
+/// lazy-cleaning. (TAC lives in [`crate::tac::TacCache`].)
+pub struct SsdManager {
+    cfg: SsdConfig,
+    io: Arc<IoManager>,
+    parts: Vec<Mutex<Partition>>,
+    /// LRU-2 access stamp source.
+    stamp: AtomicU64,
+    /// Cached pages across all partitions.
+    occupancy: AtomicU64,
+    /// Dirty cached pages across all partitions (LC only).
+    dirty_total: AtomicU64,
+    /// While `now` is before this instant, dirty evictions are not cached
+    /// (LC pauses dirty admission during a sharp checkpoint, §3.2).
+    pause_dirty_until: AtomicU64,
+    /// Counters for the evaluation harnesses.
+    pub metrics: SsdMetrics,
+}
+
+impl SsdManager {
+    /// Build a manager over the SSD frames of `io`. `cfg.frames` must not
+    /// exceed the frame count of the simulated SSD file.
+    pub fn new(cfg: SsdConfig, io: Arc<IoManager>) -> Self {
+        assert_ne!(
+            cfg.design,
+            SsdDesign::Tac,
+            "use TacCache for the TAC design"
+        );
+        assert!(cfg.frames <= io.ssd_frames(), "SSD file too small");
+        assert!(cfg.partitions >= 1);
+        let n = cfg.partitions as u64;
+        let per = cfg.frames / n;
+        let extra = cfg.frames % n;
+        let mut parts = Vec::with_capacity(cfg.partitions);
+        let mut base = 0u64;
+        for i in 0..n {
+            let frames = per + u64::from(i < extra);
+            parts.push(Mutex::new(Partition::new(base, frames as usize)));
+            base += frames;
+        }
+        SsdManager {
+            cfg,
+            io,
+            parts,
+            stamp: AtomicU64::new(0),
+            occupancy: AtomicU64::new(0),
+            dirty_total: AtomicU64::new(0),
+            pause_dirty_until: AtomicU64::new(0),
+            metrics: SsdMetrics::default(),
+        }
+    }
+
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Pages currently cached.
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy.load(Ordering::Relaxed)
+    }
+
+    /// Dirty pages currently cached (nonzero only under LC).
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty_total.load(Ordering::Relaxed)
+    }
+
+    /// True if `pid` is cached.
+    pub fn contains(&self, pid: PageId) -> bool {
+        let part = self.part(pid);
+        part.lookup(pid).is_some()
+    }
+
+    /// SSD frame number holding `pid`, if cached (introspection for tests
+    /// and tools; the frame indexes the simulated SSD file).
+    pub fn frame_of(&self, pid: PageId) -> Option<u64> {
+        let part = self.part(pid);
+        part.lookup(pid).map(|idx| part.frame_no(idx))
+    }
+
+    /// True if `pid` is cached dirty (its SSD copy is newer than disk).
+    pub fn is_dirty(&self, pid: PageId) -> bool {
+        let part = self.part(pid);
+        part.lookup(pid)
+            .map(|idx| part.record(idx).dirty)
+            .unwrap_or(false)
+    }
+
+    #[inline]
+    fn part_index(&self, pid: PageId) -> usize {
+        // Multiplicative (Fibonacci) hash routes each page to one fixed
+        // partition, preserving the shared-hash-table single-home property.
+        let h = pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.parts.len()
+    }
+
+    fn part(&self, pid: PageId) -> MutexGuard<'_, Partition> {
+        self.parts[self.part_index(pid)].lock()
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.stamp.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Is the SSD queue deeper than the throttle threshold μ?
+    fn throttled(&self, now: Time) -> bool {
+        self.io.ssd_overloaded(now, self.cfg.mu)
+    }
+
+    /// Aggressive filling (§3.3.1): until the SSD is τ-full, everything is
+    /// admitted.
+    fn filling(&self) -> bool {
+        self.occupancy() < self.cfg.fill_target()
+    }
+
+    /// Cache `data` for `pid`, evicting an SSD victim if necessary.
+    /// The caller has verified admission; this only handles placement.
+    fn install(&self, now: Time, pid: PageId, data: &[u8], dirty: bool) {
+        let mut part = self.part(pid);
+        if part.free_frames() == 0 && !self.reclaim_frame(now, &mut part) {
+            // Nothing reclaimable in this partition (everything dirty and
+            // inline cleaning exhausted — cannot happen in practice, but do
+            // not wedge: just skip the admission).
+            return;
+        }
+        let stamp = self.next_stamp();
+        let idx = part.insert(pid, dirty, stamp).expect("frame available");
+        let frame = part.frame_no(idx);
+        drop(part);
+        self.occupancy.fetch_add(1, Ordering::Relaxed);
+        if dirty {
+            self.dirty_total.fetch_add(1, Ordering::Relaxed);
+        }
+        SsdMetrics::bump(&self.metrics.admissions);
+        if self.filling() {
+            SsdMetrics::bump(&self.metrics.fill_admissions);
+        }
+        self.io.write_ssd_async(now, frame, data, pid);
+    }
+
+    /// Free one frame in `part` by LRU-2 replacement from the clean heap;
+    /// falls back to inline-cleaning the oldest dirty page when every page
+    /// is dirty (LC under extreme λ).
+    fn reclaim_frame(&self, now: Time, part: &mut Partition) -> bool {
+        if let Some((_, victim)) = part.peek_clean_victim() {
+            part.remove(victim);
+            self.occupancy.fetch_sub(1, Ordering::Relaxed);
+            SsdMetrics::bump(&self.metrics.replacements);
+            return true;
+        }
+        // All pages dirty: clean the oldest one inline (read SSD, write
+        // disk — both charged asynchronously since eviction is async).
+        if let Some((_, oldest)) = part.peek_dirty_oldest() {
+            let rec = *part.record(oldest);
+            let frame = part.frame_no(oldest);
+            let mut buf = vec![0u8; self.io.page_size()];
+            let mut tmp = Clk::at(now);
+            self.io.read_ssd(&mut tmp, frame, &mut buf);
+            self.io
+                .write_disk_async(tmp.now, rec.pid, &buf, Locality::Random);
+            part.remove(oldest);
+            self.occupancy.fetch_sub(1, Ordering::Relaxed);
+            self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+            SsdMetrics::bump(&self.metrics.inline_cleans);
+            SsdMetrics::bump(&self.metrics.replacements);
+            return true;
+        }
+        false
+    }
+
+    /// Export the SSD buffer table for embedding in a checkpoint record
+    /// (the warm-restart extension). Must be called right after a sharp
+    /// checkpoint, when every cached page is clean — dirty entries are
+    /// skipped defensively.
+    pub fn export_table(&self) -> Vec<(PageId, u64)> {
+        let mut out = Vec::with_capacity(self.occupancy() as usize);
+        for p in &self.parts {
+            let part = p.lock();
+            out.extend(
+                part.iter()
+                    .filter(|(_, r)| !r.dirty)
+                    .map(|(idx, r)| (r.pid, part.frame_no(idx))),
+            );
+        }
+        out
+    }
+
+    /// Re-adopt checkpointed SSD buffer-table entries after a restart.
+    ///
+    /// `valid(pid, frame)` is the caller's staleness filter: it must
+    /// return true only when the frame's in-page header still names `pid`
+    /// (the frame was not reused before the crash) and `pid`'s disk image
+    /// did not advance during redo. Returns the number of imported pages.
+    pub fn import_table(
+        &self,
+        entries: &[(PageId, u64)],
+        valid: impl Fn(PageId, u64) -> bool,
+    ) -> usize {
+        let mut imported = 0usize;
+        for &(pid, frame) in entries {
+            if !valid(pid, frame) {
+                continue;
+            }
+            // The frame must belong to the partition that pid routes to
+            // (it does unless the partition count changed across restart).
+            let part_idx = self.part_index(pid);
+            let mut part = self.parts[part_idx].lock();
+            let base = part.frame_no(0);
+            let cap = part.capacity() as u64;
+            if frame < base || frame >= base + cap {
+                continue;
+            }
+            let stamp = self.next_stamp();
+            if part.insert_at((frame - base) as usize, pid, stamp) {
+                imported += 1;
+                self.occupancy.fetch_add(1, Ordering::Relaxed);
+                SsdMetrics::bump(&self.metrics.warm_imports);
+            }
+        }
+        imported
+    }
+
+    /// One lazy-cleaning batch (§3.3.5): take the oldest dirty page, gather
+    /// up to α dirty pages at consecutive disk addresses around it, read
+    /// them from the SSD and write them to disk as one I/O. Returns the
+    /// number of pages cleaned (0 = no dirty pages).
+    ///
+    /// Called by [`crate::cleaner::LazyCleaner`] while the dirty count is
+    /// above the λ high-water mark, and usable directly by tests.
+    pub fn clean_batch(&self, clk: &mut Clk) -> usize {
+        // Globally oldest dirty page.
+        let mut anchor: Option<(u64, u64, PageId)> = None;
+        for p in &self.parts {
+            let part = p.lock();
+            if let Some((key, idx)) = part.peek_dirty_oldest() {
+                let pid = part.record(idx).pid;
+                if anchor.map(|(k0, k1, _)| key < (k0, k1)).unwrap_or(true) {
+                    anchor = Some((key.0, key.1, pid));
+                }
+            }
+        }
+        let Some((_, _, anchor_pid)) = anchor else {
+            return 0;
+        };
+
+        // Gather a maximal consecutive-pid run of dirty pages around the
+        // anchor, capped at α.
+        let is_dirty_cached = |pid: PageId| -> bool {
+            if pid.0 >= self.io.db_pages() {
+                return false;
+            }
+            let part = self.part(pid);
+            part.lookup(pid)
+                .map(|idx| part.record(idx).dirty)
+                .unwrap_or(false)
+        };
+        let mut lo = anchor_pid;
+        let mut hi = anchor_pid; // inclusive
+        let mut count = 1u64;
+        while count < self.cfg.alpha
+            && hi.0 + 1 < self.io.db_pages()
+            && is_dirty_cached(hi.offset(1))
+        {
+            hi = hi.offset(1);
+            count += 1;
+        }
+        while count < self.cfg.alpha && lo.0 > 0 && is_dirty_cached(PageId(lo.0 - 1)) {
+            lo = PageId(lo.0 - 1);
+            count += 1;
+        }
+
+        // Read each page from the SSD into memory (no direct SSD→disk path
+        // exists, §2.4), mark it clean, then write the run to disk as a
+        // single I/O.
+        let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let pid = lo.offset(i);
+            let mut part = self.part(pid);
+            let idx = part.lookup(pid).expect("gathered page still cached");
+            let frame = part.frame_no(idx);
+            part.set_clean(idx);
+            drop(part);
+            self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+            let mut buf = vec![0u8; self.io.page_size()];
+            self.io.read_ssd(clk, frame, &mut buf);
+            bufs.push(buf);
+        }
+        let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let done = self.io.write_disk_run_async(clk.now, lo, &slices);
+        clk.wait_until(done);
+        SsdMetrics::add(&self.metrics.cleaned_pages, count);
+        SsdMetrics::bump(&self.metrics.cleaner_writes);
+        count as usize
+    }
+
+    /// Plan entry for one page of a multi-page request.
+    fn run_status(&self, pid: PageId) -> Option<(u64, bool)> {
+        let part = self.part(pid);
+        part.lookup(pid)
+            .map(|idx| (part.frame_no(idx), part.record(idx).dirty))
+    }
+
+    /// Read one page from its SSD frame onto a temporary clock starting at
+    /// `start`; returns the completion time.
+    fn ssd_read_into(&self, start: Time, pid: PageId, frame: u64, buf: &mut [u8]) -> Time {
+        let mut tmp = Clk::at(start);
+        self.io.read_ssd(&mut tmp, frame, buf);
+        let mut part = self.part(pid);
+        if let Some(idx) = part.lookup(pid) {
+            let stamp = self.next_stamp();
+            part.touch(idx, stamp);
+        }
+        SsdMetrics::bump(&self.metrics.ssd_hits);
+        tmp.now
+    }
+}
+
+impl PageIo for SsdManager {
+    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]) {
+        let mut part = self.part(pid);
+        if let Some(idx) = part.lookup(pid) {
+            let dirty = part.record(idx).dirty;
+            // Throttle control (§3.3.2): skip the SSD when overloaded —
+            // unless its copy is newer than disk, which must be read from
+            // the SSD for correctness.
+            if dirty || !self.throttled(clk.now) {
+                let stamp = self.next_stamp();
+                part.touch(idx, stamp);
+                let frame = part.frame_no(idx);
+                drop(part);
+                self.io.read_ssd(clk, frame, buf);
+                SsdMetrics::bump(&self.metrics.ssd_hits);
+                if dirty {
+                    SsdMetrics::bump(&self.metrics.dirty_hits);
+                }
+                return;
+            }
+            SsdMetrics::bump(&self.metrics.throttled_reads);
+        }
+        drop(part);
+        SsdMetrics::bump(&self.metrics.ssd_misses);
+        self.io.read_disk(clk, pid, buf, class);
+    }
+
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf> {
+        assert!(n > 0);
+        let ps = self.io.page_size();
+        let mut out: Vec<PageBuf> = (0..n).map(|_| PageBuf::zeroed(ps)).collect();
+        let status: Vec<Option<(u64, bool)>> =
+            (0..n).map(|i| self.run_status(first.offset(i))).collect();
+        let now0 = clk.now;
+        let mut done = now0;
+
+        match self.cfg.multipage {
+            MultiPageMode::Trim => {
+                // Trimming (§3.3.3): peel SSD-resident pages off both ends,
+                // read the middle as one disk I/O; dirty SSD pages inside
+                // the middle are patched from the SSD afterwards.
+                let throttled = self.throttled(now0);
+                let from_ssd = |s: &Option<(u64, bool)>| match s {
+                    Some((_, true)) => true,
+                    Some((_, false)) => !throttled,
+                    None => false,
+                };
+                let mut lead = 0usize;
+                while lead < n as usize && from_ssd(&status[lead]) {
+                    lead += 1;
+                }
+                let mut trail = 0usize;
+                while trail < n as usize - lead && from_ssd(&status[n as usize - 1 - trail]) {
+                    trail += 1;
+                }
+                let mid = lead..(n as usize - trail);
+                if !mid.is_empty() {
+                    let mut tmp = Clk::at(now0);
+                    let pages = self.io.read_disk_run(
+                        &mut tmp,
+                        first.offset(mid.start as u64),
+                        mid.len() as u64,
+                        Locality::Sequential,
+                    );
+                    done = done.max(tmp.now);
+                    for (k, page) in pages.into_iter().enumerate() {
+                        out[mid.start + k] = page;
+                    }
+                }
+                for i in 0..n as usize {
+                    let pid = first.offset(i as u64);
+                    let in_ends = i < lead || i >= n as usize - trail;
+                    match status[i] {
+                        Some((frame, dirty)) if in_ends || dirty => {
+                            // Trimmed end page, or a newer-than-disk middle
+                            // page that must come from the SSD.
+                            let t = self.ssd_read_into(now0, pid, frame, out[i].as_mut_slice());
+                            done = done.max(t);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            MultiPageMode::Split => {
+                // The paper's discarded first cut: split the request at
+                // every SSD-resident page; each disk fragment pays its own
+                // positioning cost.
+                let throttled = self.throttled(now0);
+                let mut i = 0usize;
+                while i < n as usize {
+                    match status[i] {
+                        Some((frame, dirty)) if dirty || !throttled => {
+                            let pid = first.offset(i as u64);
+                            let t = self.ssd_read_into(now0, pid, frame, out[i].as_mut_slice());
+                            done = done.max(t);
+                            i += 1;
+                        }
+                        _ => {
+                            let seg_start = i;
+                            while i < n as usize
+                                && !matches!(status[i], Some((_, d)) if d || !throttled)
+                            {
+                                i += 1;
+                            }
+                            let mut tmp = Clk::at(now0);
+                            let pages = self.io.read_disk_run(
+                                &mut tmp,
+                                first.offset(seg_start as u64),
+                                (i - seg_start) as u64,
+                                Locality::Random,
+                            );
+                            done = done.max(tmp.now);
+                            for (k, page) in pages.into_iter().enumerate() {
+                                out[seg_start + k] = page;
+                            }
+                        }
+                    }
+                }
+            }
+            MultiPageMode::DiskOnly => {
+                let mut tmp = Clk::at(now0);
+                let pages = self
+                    .io
+                    .read_disk_run(&mut tmp, first, n, Locality::Sequential);
+                done = done.max(tmp.now);
+                for (k, page) in pages.into_iter().enumerate() {
+                    out[k] = page;
+                }
+                // Correctness: dirty SSD copies are newer than what the
+                // disk returned.
+                for i in 0..n as usize {
+                    if let Some((frame, true)) = status[i] {
+                        let pid = first.offset(i as u64);
+                        let t = self.ssd_read_into(now0, pid, frame, out[i].as_mut_slice());
+                        done = done.max(t);
+                    }
+                }
+            }
+        }
+        clk.wait_until(done);
+        out
+    }
+
+    fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, class: Locality) {
+        {
+            let part = self.part(pid);
+            if let Some(idx) = part.lookup(pid) {
+                // A valid SSD copy exists, so the evicted memory copy is
+                // identical (a dirtied copy would have been invalidated).
+                debug_assert!(!dirty, "dirty eviction with live SSD copy");
+                debug_assert_eq!(part.record(idx).pid, pid);
+                return;
+            }
+        }
+
+        let admit_class = self.filling() || class == Locality::Random;
+        if !admit_class {
+            SsdMetrics::bump(&self.metrics.policy_rejections);
+            if dirty {
+                self.io.write_disk_async(now, pid, data, Locality::Random);
+            }
+            return;
+        }
+        let throttled = self.throttled(now);
+        if throttled {
+            SsdMetrics::bump(&self.metrics.throttled_admissions);
+        }
+
+        match self.cfg.design {
+            SsdDesign::CleanWrite => {
+                if dirty {
+                    // CW never caches dirty pages (§2.3.1).
+                    self.io.write_disk_async(now, pid, data, Locality::Random);
+                } else if !throttled {
+                    self.install(now, pid, data, false);
+                }
+            }
+            SsdDesign::DualWrite => {
+                // Write-through: dirty pages go to both places (§2.3.2).
+                if dirty {
+                    self.io.write_disk_async(now, pid, data, Locality::Random);
+                }
+                if !throttled {
+                    self.install(now, pid, data, false);
+                }
+            }
+            SsdDesign::LazyCleaning => {
+                let paused = now < self.pause_dirty_until.load(Ordering::Relaxed);
+                if dirty && (throttled || paused) {
+                    self.io.write_disk_async(now, pid, data, Locality::Random);
+                } else if !throttled {
+                    // Write-back: the SSD receives the only current copy of
+                    // a dirty page (§2.3.3). WAL ordering is the engine's
+                    // contract: the log was flushed at commit, before the
+                    // page could be evicted.
+                    self.install(now, pid, data, dirty);
+                }
+            }
+            SsdDesign::Tac => unreachable!("TAC uses TacCache"),
+        }
+    }
+
+    fn note_dirtied(&self, _now: Time, pid: PageId) {
+        // Physical invalidation (§4.2): the frame returns to the free list
+        // immediately, unlike TAC's logical invalidation.
+        let mut part = self.part(pid);
+        if let Some(idx) = part.lookup(pid) {
+            let rec = part.remove(idx);
+            drop(part);
+            self.occupancy.fetch_sub(1, Ordering::Relaxed);
+            if rec.dirty {
+                self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+            }
+            SsdMetrics::bump(&self.metrics.invalidations);
+        }
+    }
+
+    fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], class: Locality) -> Time {
+        let done = self.io.write_disk_async(now, pid, data, Locality::Random);
+        // DW extension (§3.2): during a checkpoint, random-class dirty
+        // pages are written to the SSD as well, filling it faster.
+        if self.cfg.design == SsdDesign::DualWrite
+            && class == Locality::Random
+            && !self.throttled(now)
+        {
+            let cached = {
+                let part = self.part(pid);
+                part.lookup(pid).is_some()
+            };
+            if !cached {
+                self.install(now, pid, data, false);
+            }
+        }
+        done
+    }
+
+    fn checkpoint_flush(&self, clk: &mut Clk) {
+        if self.cfg.design != SsdDesign::LazyCleaning {
+            return;
+        }
+        // Sharp checkpoint: every dirty SSD page goes to disk (§3.2).
+        let mut dirty_pids: Vec<PageId> = Vec::new();
+        for p in &self.parts {
+            let part = p.lock();
+            dirty_pids.extend(part.iter().filter(|(_, r)| r.dirty).map(|(_, r)| r.pid));
+        }
+        dirty_pids.sort_unstable();
+        let total = dirty_pids.len() as u64;
+
+        // Flush in consecutive-pid group-cleaning batches of up to α pages.
+        let mut i = 0usize;
+        while i < dirty_pids.len() {
+            let mut j = i + 1;
+            while j < dirty_pids.len()
+                && dirty_pids[j].0 == dirty_pids[j - 1].0 + 1
+                && (j - i) < self.cfg.alpha as usize
+            {
+                j += 1;
+            }
+            let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(j - i);
+            for pid in &dirty_pids[i..j] {
+                let mut part = self.part(*pid);
+                let idx = part.lookup(*pid).expect("dirty page still cached");
+                let frame = part.frame_no(idx);
+                part.set_clean(idx);
+                drop(part);
+                self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+                let mut buf = vec![0u8; self.io.page_size()];
+                self.io.read_ssd(clk, frame, &mut buf);
+                bufs.push(buf);
+            }
+            let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+            let done = self
+                .io
+                .write_disk_run_async(clk.now, dirty_pids[i], &slices);
+            clk.wait_until(done);
+            i = j;
+        }
+        SsdMetrics::add(&self.metrics.checkpoint_cleaned, total);
+    }
+
+    fn has_copy(&self, pid: PageId) -> bool {
+        self.contains(pid)
+    }
+
+    fn checkpoint_window(&self, _start: Time, end: Time) {
+        if self.cfg.design == SsdDesign::LazyCleaning {
+            self.pause_dirty_until.store(end, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbopool_iosim::DeviceSetup;
+
+    const PS: usize = 32;
+
+    fn mk(design: SsdDesign, frames: u64) -> (Arc<IoManager>, Arc<SsdManager>) {
+        // Single partition: page→partition routing is a hash, so tests that
+        // count frames per partition would be distribution-dependent with
+        // more than one.
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 1024, frames)));
+        let mut cfg = SsdConfig::new(design, frames);
+        cfg.partitions = 1;
+        let mgr = Arc::new(SsdManager::new(cfg, Arc::clone(&io)));
+        (io, mgr)
+    }
+
+    fn page(tag: u8) -> Vec<u8> {
+        vec![tag; PS]
+    }
+
+    #[test]
+    fn random_clean_evictions_are_cached_and_hit() {
+        let (io, m) = mk(SsdDesign::DualWrite, 16);
+        m.evict_page(0, PageId(5), &page(0xA5), false, Locality::Random);
+        assert!(m.contains(PageId(5)));
+        assert_eq!(m.occupancy(), 1);
+        let mut clk = Clk::new();
+        let mut buf = page(0);
+        m.read_page(&mut clk, PageId(5), Locality::Random, &mut buf);
+        assert_eq!(buf[0], 0xA5);
+        assert_eq!(m.metrics.snapshot().ssd_hits, 1);
+        // The hit was served by the SSD device, not the disks.
+        assert_eq!(io.disk_stats().read_ops, 0);
+    }
+
+    #[test]
+    fn sequential_evictions_rejected_after_fill_phase() {
+        let (_io, m) = mk(SsdDesign::DualWrite, 16);
+        // Finish the filling phase first (τ = 95% of 16 = 15 frames).
+        for i in 0..15u64 {
+            m.evict_page(0, PageId(100 + i), &page(1), false, Locality::Sequential);
+        }
+        assert_eq!(m.occupancy(), 15, "aggressive filling admits everything");
+        // Fill target reached: sequential pages now bounce.
+        m.evict_page(0, PageId(500), &page(2), false, Locality::Sequential);
+        assert!(!m.contains(PageId(500)));
+        assert_eq!(m.metrics.snapshot().policy_rejections, 1);
+        // Random pages still enter.
+        m.evict_page(0, PageId(501), &page(3), false, Locality::Random);
+        assert!(m.contains(PageId(501)));
+    }
+
+    #[test]
+    fn cw_never_caches_dirty() {
+        let (io, m) = mk(SsdDesign::CleanWrite, 16);
+        m.evict_page(0, PageId(1), &page(9), true, Locality::Random);
+        assert!(!m.contains(PageId(1)));
+        assert_eq!(io.disk_stats().write_ops, 1, "dirty page went to disk");
+        assert_eq!(io.ssd_stats().write_ops, 0);
+    }
+
+    #[test]
+    fn dw_writes_dirty_to_both() {
+        let (io, m) = mk(SsdDesign::DualWrite, 16);
+        m.evict_page(0, PageId(1), &page(9), true, Locality::Random);
+        assert!(m.contains(PageId(1)));
+        assert!(!m.is_dirty(PageId(1)), "DW's SSD copy matches disk");
+        assert_eq!(io.disk_stats().write_ops, 1);
+        assert_eq!(io.ssd_stats().write_ops, 1);
+    }
+
+    #[test]
+    fn lc_keeps_dirty_only_on_ssd() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 16);
+        m.evict_page(0, PageId(1), &page(9), true, Locality::Random);
+        assert!(m.is_dirty(PageId(1)));
+        assert_eq!(m.dirty_count(), 1);
+        assert_eq!(io.disk_stats().write_ops, 0, "no disk write until cleaned");
+        assert_eq!(io.ssd_stats().write_ops, 1);
+    }
+
+    #[test]
+    fn dirtying_invalidates_physically() {
+        let (_io, m) = mk(SsdDesign::DualWrite, 16);
+        m.evict_page(0, PageId(1), &page(1), false, Locality::Random);
+        assert_eq!(m.occupancy(), 1);
+        m.note_dirtied(0, PageId(1));
+        assert!(!m.contains(PageId(1)));
+        assert_eq!(m.occupancy(), 0, "frame returned to the free list");
+        assert_eq!(m.metrics.snapshot().invalidations, 1);
+    }
+
+    #[test]
+    fn replacement_evicts_lru2_clean_victim() {
+        let (_io, m) = mk(SsdDesign::DualWrite, 16);
+        for i in 0..16u64 {
+            m.evict_page(0, PageId(i), &page(i as u8), false, Locality::Random);
+        }
+        assert_eq!(m.occupancy(), 16);
+        // Re-reference pages 1..16 from the SSD so page 0 is the LRU-2
+        // victim, then overflow.
+        let mut clk = Clk::new();
+        let mut buf = page(0);
+        for i in 1..16u64 {
+            m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf);
+        }
+        m.evict_page(clk.now, PageId(100), &page(0xFF), false, Locality::Random);
+        assert_eq!(m.occupancy(), 16, "replacement kept occupancy constant");
+        assert!(m.contains(PageId(100)));
+        assert!(!m.contains(PageId(0)), "coldest page was replaced");
+        assert_eq!(m.metrics.snapshot().replacements, 1);
+    }
+
+    #[test]
+    fn lc_dirty_pages_survive_replacement_pressure() {
+        let (_io, m) = mk(SsdDesign::LazyCleaning, 16);
+        for i in 0..4u64 {
+            m.evict_page(0, PageId(i), &page(1), true, Locality::Random);
+        }
+        // Flood with clean pages to force replacement; only clean pages may
+        // be replaced while clean victims exist.
+        for i in 100..140u64 {
+            m.evict_page(0, PageId(i), &page(2), false, Locality::Random);
+        }
+        for i in 0..4u64 {
+            assert!(m.is_dirty(PageId(i)), "dirty page {i} must not be dropped");
+        }
+        assert_eq!(m.metrics.snapshot().inline_cleans, 0);
+    }
+
+    #[test]
+    fn partitioned_manager_keeps_lookups_correct() {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 1024, 64)));
+        let mut cfg = SsdConfig::new(SsdDesign::DualWrite, 64);
+        cfg.partitions = 16;
+        let m = SsdManager::new(cfg, Arc::clone(&io));
+        for i in 0..100u64 {
+            // Spread evictions out so the throttle (legitimately) stays
+            // disengaged.
+            m.evict_page(
+                i * turbopool_iosim::MILLISECOND,
+                PageId(i),
+                &page(i as u8),
+                false,
+                Locality::Random,
+            );
+        }
+        assert!(m.occupancy() <= 64);
+        let mut clk = Clk::new();
+        let mut buf = page(0);
+        let mut hits = 0;
+        for i in 0..100u64 {
+            if m.contains(PageId(i)) {
+                m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf);
+                assert_eq!(buf[0], i as u8, "cached copy must match");
+                hits += 1;
+            }
+        }
+        assert!(hits >= 32, "most frames should be occupied, got {hits}");
+    }
+
+    #[test]
+    fn clean_batch_flushes_consecutive_run() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 64);
+        for i in 10..20u64 {
+            m.evict_page(0, PageId(i), &page(i as u8), true, Locality::Random);
+        }
+        assert_eq!(m.dirty_count(), 10);
+        let mut clk = Clk::new();
+        let cleaned = m.clean_batch(&mut clk);
+        assert_eq!(cleaned, 10, "one batch gathers the consecutive run");
+        assert_eq!(m.dirty_count(), 0);
+        assert!(clk.now > 0);
+        // Pages are now on disk with their contents.
+        let mut buf = page(0);
+        io.disk_store().read(PageId(15), &mut buf);
+        assert_eq!(buf[0], 15);
+        // Still cached (clean) in the SSD.
+        assert!(m.contains(PageId(15)));
+        assert!(!m.is_dirty(PageId(15)));
+        assert_eq!(m.metrics.snapshot().cleaner_writes, 1);
+    }
+
+    #[test]
+    fn clean_batch_respects_alpha() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 64);
+        {
+            // α = 4 for this test.
+            let mut cfg = SsdConfig::new(SsdDesign::LazyCleaning, 64);
+            cfg.alpha = 4;
+            cfg.partitions = 1;
+            let m = SsdManager::new(cfg, io);
+            for i in 0..10u64 {
+                m.evict_page(0, PageId(i), &page(1), true, Locality::Random);
+            }
+            let mut clk = Clk::new();
+            assert_eq!(m.clean_batch(&mut clk), 4);
+            assert_eq!(m.dirty_count(), 6);
+        }
+        drop(m);
+    }
+
+    #[test]
+    fn checkpoint_flush_cleans_everything_dirty() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 64);
+        for i in [3u64, 4, 5, 40, 41, 900] {
+            m.evict_page(0, PageId(i), &page(7), true, Locality::Random);
+        }
+        assert_eq!(m.dirty_count(), 6);
+        let mut clk = Clk::new();
+        m.checkpoint_flush(&mut clk);
+        assert_eq!(m.dirty_count(), 0);
+        assert_eq!(m.metrics.snapshot().checkpoint_cleaned, 6);
+        let mut buf = page(0);
+        io.disk_store().read(PageId(900), &mut buf);
+        assert_eq!(buf[0], 7);
+    }
+
+    #[test]
+    fn checkpoint_window_pauses_lc_dirty_admission() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 16);
+        m.checkpoint_window(0, 1_000_000);
+        m.evict_page(500_000, PageId(1), &page(9), true, Locality::Random);
+        assert!(
+            !m.contains(PageId(1)),
+            "dirty page bypassed SSD during pause"
+        );
+        assert_eq!(io.disk_stats().write_ops, 1);
+        // After the window it caches again.
+        m.evict_page(2_000_000, PageId(2), &page(9), true, Locality::Random);
+        assert!(m.is_dirty(PageId(2)));
+    }
+
+    #[test]
+    fn dw_checkpoint_write_mirrors_random_pages() {
+        let (io, m) = mk(SsdDesign::DualWrite, 16);
+        m.checkpoint_write(0, PageId(1), &page(5), Locality::Random);
+        assert!(m.contains(PageId(1)));
+        m.checkpoint_write(0, PageId(2), &page(5), Locality::Sequential);
+        assert!(!m.contains(PageId(2)));
+        assert_eq!(io.disk_stats().write_ops, 2, "both went to disk");
+    }
+
+    #[test]
+    fn trim_reads_middle_as_one_disk_io() {
+        let (io, m) = mk(SsdDesign::DualWrite, 16);
+        // Pages 0 and 5 in SSD; 1..=4 on disk only.
+        for pid in [0u64, 5] {
+            m.evict_page(
+                0,
+                PageId(pid),
+                &page(pid as u8 + 1),
+                false,
+                Locality::Random,
+            );
+        }
+        for pid in 1..=4u64 {
+            io.write_disk_async(0, PageId(pid), &page(pid as u8 + 1), Locality::Random);
+        }
+        io.reset_stats();
+        let mut clk = Clk::new();
+        let pages = m.read_run(&mut clk, PageId(0), 6);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.as_slice()[0], i as u8 + 1, "page {i} content");
+        }
+        // Middle = pages 1..=4 on 4 distinct disks -> 4 member requests of
+        // one striped run; 2 SSD reads for the trimmed ends.
+        assert_eq!(io.ssd_stats().read_ops, 2);
+        assert_eq!(io.disk_stats().read_pages, 4);
+    }
+
+    #[test]
+    fn dirty_middle_page_is_patched_from_ssd() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 16);
+        // Disk has old versions of pages 0..4; page 2 has a NEWER dirty
+        // copy in the SSD.
+        for pid in 0..5u64 {
+            io.write_disk_async(0, PageId(pid), &page(0x0A), Locality::Random);
+        }
+        m.evict_page(0, PageId(2), &page(0xBB), true, Locality::Random);
+        let mut clk = Clk::new();
+        let pages = m.read_run(&mut clk, PageId(0), 5);
+        assert_eq!(pages[2].as_slice()[0], 0xBB, "must see the newer version");
+        assert_eq!(pages[1].as_slice()[0], 0x0A);
+    }
+
+    #[test]
+    fn split_mode_costs_more_disk_positionings_than_trim() {
+        let run_time = |mode: MultiPageMode| -> Time {
+            let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 1024, 64)));
+            let mut cfg = SsdConfig::new(SsdDesign::DualWrite, 64);
+            cfg.multipage = mode;
+            cfg.partitions = 1;
+            let m = SsdManager::new(cfg, Arc::clone(&io));
+            // SSD-resident pages scattered inside the run: 3rd and 5th of 8
+            // (the paper's example in §3.3.3).
+            m.evict_page(0, PageId(2), &page(1), false, Locality::Random);
+            m.evict_page(0, PageId(4), &page(1), false, Locality::Random);
+            let mut clk = Clk::new();
+            m.read_run(&mut clk, PageId(0), 8);
+            clk.now
+        };
+        let trim = run_time(MultiPageMode::Trim);
+        let split = run_time(MultiPageMode::Split);
+        assert!(
+            split > trim,
+            "splitting should be slower: split={split} trim={trim}"
+        );
+    }
+
+    #[test]
+    fn inline_clean_when_partition_all_dirty() {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 1024, 4)));
+        let mut cfg = SsdConfig::new(SsdDesign::LazyCleaning, 4);
+        cfg.partitions = 1;
+        let m = SsdManager::new(cfg, Arc::clone(&io));
+        for i in 0..4u64 {
+            m.evict_page(0, PageId(i * 16 + 1), &page(1), true, Locality::Random);
+        }
+        assert_eq!(m.dirty_count(), 4);
+        // A fifth dirty eviction forces an inline clean.
+        m.evict_page(0, PageId(999), &page(2), true, Locality::Random);
+        assert_eq!(m.metrics.snapshot().inline_cleans, 1);
+        assert_eq!(m.occupancy(), 4);
+        assert!(m.is_dirty(PageId(999)));
+    }
+}

@@ -1,0 +1,146 @@
+//! SSD-manager counters used by the evaluation harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters; snapshot with [`SsdMetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct SsdMetrics {
+    /// Page lookups served from the SSD.
+    pub ssd_hits: AtomicU64,
+    /// Page lookups that fell through to disk.
+    pub ssd_misses: AtomicU64,
+    /// SSD hits skipped because the SSD queue exceeded μ (read went to
+    /// disk instead).
+    pub throttled_reads: AtomicU64,
+    /// SSD admissions skipped because the SSD queue exceeded μ.
+    pub throttled_admissions: AtomicU64,
+    /// Pages admitted to the SSD (any path).
+    pub admissions: AtomicU64,
+    /// Pages admitted while the aggressive-filling phase was active.
+    pub fill_admissions: AtomicU64,
+    /// Evictions rejected by the admission policy (sequential class).
+    pub policy_rejections: AtomicU64,
+    /// SSD frames reclaimed by replacement.
+    pub replacements: AtomicU64,
+    /// Invalidations triggered by in-memory dirtying.
+    pub invalidations: AtomicU64,
+    /// Pages cleaned (SSD -> disk) by the lazy cleaner.
+    pub cleaned_pages: AtomicU64,
+    /// Group-cleaning write requests issued.
+    pub cleaner_writes: AtomicU64,
+    /// Dirty SSD victims cleaned inline because no clean victim existed.
+    pub inline_cleans: AtomicU64,
+    /// Dirty SSD pages flushed by sharp checkpoints.
+    pub checkpoint_cleaned: AtomicU64,
+    /// TAC: on-read SSD writes cancelled because the page was dirtied
+    /// before the write completed (§4.2 discussion).
+    pub tac_cancelled_writes: AtomicU64,
+    /// SSD hits that returned a *dirty* (newer-than-disk) page.
+    pub dirty_hits: AtomicU64,
+    /// Pages re-adopted from the SSD at restart (warm-restart extension).
+    pub warm_imports: AtomicU64,
+}
+
+/// Plain-value snapshot of [`SsdMetrics`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SsdMetricsSnapshot {
+    pub ssd_hits: u64,
+    pub ssd_misses: u64,
+    pub throttled_reads: u64,
+    pub throttled_admissions: u64,
+    pub admissions: u64,
+    pub fill_admissions: u64,
+    pub policy_rejections: u64,
+    pub replacements: u64,
+    pub invalidations: u64,
+    pub cleaned_pages: u64,
+    pub cleaner_writes: u64,
+    pub inline_cleans: u64,
+    pub checkpoint_cleaned: u64,
+    pub tac_cancelled_writes: u64,
+    pub dirty_hits: u64,
+    pub warm_imports: u64,
+}
+
+impl SsdMetrics {
+    pub fn snapshot(&self) -> SsdMetricsSnapshot {
+        SsdMetricsSnapshot {
+            ssd_hits: self.ssd_hits.load(Ordering::Relaxed),
+            ssd_misses: self.ssd_misses.load(Ordering::Relaxed),
+            throttled_reads: self.throttled_reads.load(Ordering::Relaxed),
+            throttled_admissions: self.throttled_admissions.load(Ordering::Relaxed),
+            admissions: self.admissions.load(Ordering::Relaxed),
+            fill_admissions: self.fill_admissions.load(Ordering::Relaxed),
+            policy_rejections: self.policy_rejections.load(Ordering::Relaxed),
+            replacements: self.replacements.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            cleaned_pages: self.cleaned_pages.load(Ordering::Relaxed),
+            cleaner_writes: self.cleaner_writes.load(Ordering::Relaxed),
+            inline_cleans: self.inline_cleans.load(Ordering::Relaxed),
+            checkpoint_cleaned: self.checkpoint_cleaned.load(Ordering::Relaxed),
+            tac_cancelled_writes: self.tac_cancelled_writes.load(Ordering::Relaxed),
+            dirty_hits: self.dirty_hits.load(Ordering::Relaxed),
+            warm_imports: self.warm_imports.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl SsdMetricsSnapshot {
+    /// SSD hit rate over all lookups that reached the SSD manager.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.ssd_hits + self.ssd_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ssd_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of SSD hits that were to dirty pages — 83% for the 2K
+    /// TPC-C run in the paper (§4.2).
+    pub fn dirty_hit_fraction(&self) -> f64 {
+        if self.ssd_hits == 0 {
+            0.0
+        } else {
+            self.dirty_hits as f64 / self.ssd_hits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let m = SsdMetrics::default();
+        SsdMetrics::bump(&m.ssd_hits);
+        SsdMetrics::add(&m.cleaned_pages, 5);
+        let s = m.snapshot();
+        assert_eq!(s.ssd_hits, 1);
+        assert_eq!(s.cleaned_pages, 5);
+        assert_eq!(s.ssd_misses, 0);
+    }
+
+    #[test]
+    fn rates() {
+        let m = SsdMetrics::default();
+        SsdMetrics::add(&m.ssd_hits, 89);
+        SsdMetrics::add(&m.ssd_misses, 11);
+        SsdMetrics::add(&m.dirty_hits, 70);
+        let s = m.snapshot();
+        assert!((s.hit_rate() - 0.89).abs() < 1e-12);
+        assert!((s.dirty_hit_fraction() - 70.0 / 89.0).abs() < 1e-12);
+        assert_eq!(SsdMetricsSnapshot::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,522 @@
+//! Temperature-Aware Caching (TAC) — the comparison baseline (§2.5).
+//!
+//! TAC (Canim et al., "SSD Bufferpool Extensions for Database Systems",
+//! VLDB 2010) differs from the CW/DW/LC designs in its page flow:
+//!
+//! 1. On a (memory-pool) miss the SSD is probed; hit → read from SSD.
+//! 2. After a page is read from *disk*, it is immediately written to the
+//!    SSD if admitted — admission compares the page's extent *temperature*
+//!    against the coldest extent resident in the SSD.
+//! 3. When a buffer-pool page is updated, the SSD copy is *logically*
+//!    invalidated: marked invalid but the frame is not reclaimed.
+//! 4. When a dirty page is evicted it is written to disk (write-through);
+//!    if an invalid version sits in the SSD it is also rewritten there.
+//!
+//! Temperature is tracked per extent of 32 consecutive pages: every
+//! memory-pool miss adds the time that would be saved by reading the page
+//! from SSD instead of disk.
+//!
+//! Two behaviours the paper highlights are modeled explicitly:
+//!
+//! * **Write-on-read races** — the on-read SSD write is asynchronous; if a
+//!   transaction dirties the page before that write completes, the write is
+//!   cancelled and the page never reaches the SSD (and, having no invalid
+//!   version there, is not written on eviction either). This is the latch
+//!   contention effect of §2.5/§4.2.
+//! * **Logical-invalidation waste** — invalid frames keep occupying SSD
+//!   space ([`TacCache::invalid_frames`] reproduces the 7.4–10.4 GB waste
+//!   numbers of §2.5).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use turbopool_bufpool::PageIo;
+use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
+
+use crate::config::SsdConfig;
+use crate::metrics::SsdMetrics;
+
+#[derive(Debug, Clone, Copy)]
+struct TacRec {
+    pid: PageId,
+    /// Logically valid (invalid frames waste space until rewritten).
+    valid: bool,
+    /// The asynchronous SSD write that installed this copy completes at
+    /// this instant; a dirtying before then cancels the write.
+    valid_at: Time,
+}
+
+struct TacInner {
+    /// `records[frame]` — the SSD buffer table.
+    records: Vec<Option<TacRec>>,
+    map: HashMap<PageId, usize>,
+    free: Vec<usize>,
+    /// Extent number → accumulated saved-time temperature (ns).
+    temps: HashMap<u64, u64>,
+    /// Lazy min-heap of (temperature snapshot, frame) over *valid* frames.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+/// The TAC SSD cache, implementing the same [`PageIo`] seam as
+/// [`crate::manager::SsdManager`].
+pub struct TacCache {
+    cfg: SsdConfig,
+    io: Arc<IoManager>,
+    inner: Mutex<TacInner>,
+    pub metrics: SsdMetrics,
+}
+
+impl TacCache {
+    pub fn new(cfg: SsdConfig, io: Arc<IoManager>) -> Self {
+        assert!(cfg.frames <= io.ssd_frames(), "SSD file too small");
+        let frames = cfg.frames as usize;
+        TacCache {
+            cfg,
+            io,
+            inner: Mutex::new(TacInner {
+                records: vec![None; frames],
+                map: HashMap::with_capacity(frames),
+                free: (0..frames).rev().collect(),
+                temps: HashMap::new(),
+                heap: std::collections::BinaryHeap::new(),
+            }),
+            metrics: SsdMetrics::default(),
+        }
+    }
+
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Occupied frames (valid + invalid).
+    pub fn occupancy(&self) -> u64 {
+        self.inner.lock().map.len() as u64
+    }
+
+    /// Frames wasted on logically invalid pages (§2.5).
+    pub fn invalid_frames(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.records.iter().flatten().filter(|r| !r.valid).count() as u64
+    }
+
+    /// SSD frame holding a *valid* copy of `pid`, if any (introspection).
+    pub fn frame_of_valid(&self, pid: PageId) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner.map.get(&pid).and_then(|&f| {
+            let rec = inner.records[f].unwrap();
+            rec.valid.then_some(f as u64)
+        })
+    }
+
+    /// True if `pid` has a valid SSD copy.
+    pub fn contains_valid(&self, pid: PageId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .get(&pid)
+            .map(|&f| inner.records[f].unwrap().valid)
+            .unwrap_or(false)
+    }
+
+    fn extent(&self, pid: PageId) -> u64 {
+        pid.0 / self.cfg.tac_extent_pages
+    }
+
+    /// Time saved by serving `class`-type read from SSD instead of disk.
+    fn saved_ns(&self, class: Locality) -> u64 {
+        let setup = self.io.setup();
+        let disk = match class {
+            Locality::Random => setup.disk_profile.rand_read_ns,
+            Locality::Sequential => setup.disk_profile.seq_read_ns,
+        };
+        disk.saturating_sub(setup.ssd_profile.rand_read_ns)
+    }
+
+    fn throttled(&self, now: Time) -> bool {
+        self.io.ssd_overloaded(now, self.cfg.mu)
+    }
+
+    /// Record a memory-pool miss of `pid`: heat its extent.
+    fn heat(&self, inner: &mut TacInner, pid: PageId, class: Locality) {
+        let e = self.extent(pid);
+        *inner.temps.entry(e).or_insert(0) += self.saved_ns(class);
+    }
+
+    /// Find the coldest valid SSD frame: pop the lazy heap, reinserting
+    /// entries whose temperature grew since they were pushed (temperatures
+    /// only increase, so this terminates).
+    fn pop_coldest_valid(&self, inner: &mut TacInner) -> Option<(u64, usize)> {
+        while let Some(std::cmp::Reverse((snap, frame))) = inner.heap.pop() {
+            let Some(rec) = inner.records[frame] else {
+                continue;
+            };
+            if !rec.valid {
+                continue;
+            }
+            let cur = *inner.temps.get(&self.extent(rec.pid)).unwrap_or(&0);
+            if cur != snap {
+                inner.heap.push(std::cmp::Reverse((cur, frame)));
+                continue;
+            }
+            return Some((snap, frame));
+        }
+        None
+    }
+
+    /// Admit `pid` (already read from disk) into the SSD at `now`,
+    /// following TAC's admission/replacement rule.
+    fn admit_on_read(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) {
+        if self.throttled(now) {
+            SsdMetrics::bump(&self.metrics.throttled_admissions);
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&pid) {
+            return;
+        }
+        let filling = inner.map.len() < self.cfg.fill_target() as usize;
+        let frame = if filling {
+            // Aggressive filling: admit everything while below τ.
+            inner.free.pop()
+        } else {
+            // Qualified admission: the page's extent must be hotter than
+            // the coldest extent resident in the SSD.
+            let my_temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+            match self.pop_coldest_valid(&mut inner) {
+                Some((cold, cold_frame)) if my_temp > cold => {
+                    if let Some(f) = inner.free.pop() {
+                        // A free frame exists; keep the cold page.
+                        inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
+                        Some(f)
+                    } else {
+                        let old = inner.records[cold_frame].take().unwrap();
+                        inner.map.remove(&old.pid);
+                        SsdMetrics::bump(&self.metrics.replacements);
+                        Some(cold_frame)
+                    }
+                }
+                Some((cold, cold_frame)) => {
+                    // Not hot enough; put the candidate back.
+                    inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
+                    SsdMetrics::bump(&self.metrics.policy_rejections);
+                    None
+                }
+                // No valid page to compare against: admit if space exists.
+                None => inner.free.pop(),
+            }
+        };
+        let Some(frame) = frame else { return };
+        let done = self.io.write_ssd_async(now, frame as u64, data, pid);
+        inner.records[frame] = Some(TacRec {
+            pid,
+            valid: true,
+            valid_at: done,
+        });
+        inner.map.insert(pid, frame);
+        let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+        inner.heap.push(std::cmp::Reverse((temp, frame)));
+        SsdMetrics::bump(&self.metrics.admissions);
+        if filling {
+            SsdMetrics::bump(&self.metrics.fill_admissions);
+        }
+    }
+}
+
+impl PageIo for TacCache {
+    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]) {
+        {
+            let mut inner = self.inner.lock();
+            // Every memory-pool miss heats the extent, wherever it is
+            // served from.
+            self.heat(&mut inner, pid, class);
+            if let Some(&frame) = inner.map.get(&pid) {
+                let rec = inner.records[frame].unwrap();
+                // The copy must be valid AND its installing write complete.
+                if rec.valid && clk.now >= rec.valid_at && !self.throttled(clk.now) {
+                    drop(inner);
+                    self.io.read_ssd(clk, frame as u64, buf);
+                    SsdMetrics::bump(&self.metrics.ssd_hits);
+                    return;
+                }
+                if rec.valid && clk.now >= rec.valid_at {
+                    SsdMetrics::bump(&self.metrics.throttled_reads);
+                }
+            }
+        }
+        SsdMetrics::bump(&self.metrics.ssd_misses);
+        self.io.read_disk(clk, pid, buf, class);
+        // TAC writes the page to the SSD immediately after the disk read
+        // (§2.5 page flow, step ii).
+        self.admit_on_read(clk.now, pid, buf, class);
+    }
+
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf> {
+        // Multi-page reads use the same leading/trailing trim as the other
+        // designs (§3.3 optimizations were applied to TAC too). Run pages
+        // are sequential, hence cold — TAC does not admit them on read.
+        assert!(n > 0);
+        let ps = self.io.page_size();
+        let mut out: Vec<PageBuf> = (0..n).map(|_| PageBuf::zeroed(ps)).collect();
+        let now0 = clk.now;
+        let mut done = now0;
+        let throttled = self.throttled(now0);
+        let status: Vec<Option<u64>> = {
+            let inner = self.inner.lock();
+            (0..n)
+                .map(|i| {
+                    let pid = first.offset(i);
+                    inner.map.get(&pid).and_then(|&f| {
+                        let rec = inner.records[f].unwrap();
+                        (rec.valid && now0 >= rec.valid_at && !throttled).then_some(f as u64)
+                    })
+                })
+                .collect()
+        };
+        let mut lead = 0usize;
+        while lead < n as usize && status[lead].is_some() {
+            lead += 1;
+        }
+        let mut trail = 0usize;
+        while trail < n as usize - lead && status[n as usize - 1 - trail].is_some() {
+            trail += 1;
+        }
+        let mid = lead..(n as usize - trail);
+        if !mid.is_empty() {
+            let mut tmp = Clk::at(now0);
+            let pages = self.io.read_disk_run(
+                &mut tmp,
+                first.offset(mid.start as u64),
+                mid.len() as u64,
+                Locality::Sequential,
+            );
+            done = done.max(tmp.now);
+            for (k, page) in pages.into_iter().enumerate() {
+                let pid = first.offset((mid.start + k) as u64);
+                // TAC's write-on-read applies to every page it reads;
+                // during aggressive filling even sequential pages are
+                // admitted ("before the SSD is full, all pages are
+                // admitted"). After filling, cold extents are rejected by
+                // the temperature rule inside.
+                self.admit_on_read(tmp.now, pid, page.as_slice(), Locality::Sequential);
+                out[mid.start + k] = page;
+            }
+        }
+        for i in (0..lead).chain(n as usize - trail..n as usize) {
+            let frame = status[i].unwrap();
+            let mut tmp = Clk::at(now0);
+            self.io.read_ssd(&mut tmp, frame, out[i].as_mut_slice());
+            done = done.max(tmp.now);
+            SsdMetrics::bump(&self.metrics.ssd_hits);
+        }
+        clk.wait_until(done);
+        out
+    }
+
+    fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, _class: Locality) {
+        if !dirty {
+            // Clean pages were already written on read; nothing happens.
+            return;
+        }
+        // Write-through to disk, as in a traditional DBMS.
+        self.io.write_disk_async(now, pid, data, Locality::Random);
+        // If an invalid version exists in the SSD, refresh it (flow iv).
+        let mut inner = self.inner.lock();
+        if let Some(&frame) = inner.map.get(&pid) {
+            let rec = inner.records[frame].unwrap();
+            if !rec.valid && !self.throttled(now) {
+                let done = self.io.write_ssd_async(now, frame as u64, data, pid);
+                inner.records[frame] = Some(TacRec {
+                    pid,
+                    valid: true,
+                    valid_at: done,
+                });
+                let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+                inner.heap.push(std::cmp::Reverse((temp, frame)));
+                SsdMetrics::bump(&self.metrics.admissions);
+            }
+        }
+    }
+
+    fn note_dirtied(&self, now: Time, pid: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some(&frame) = inner.map.get(&pid) {
+            let rec = inner.records[frame].unwrap();
+            if rec.valid {
+                if now < rec.valid_at {
+                    // The on-read SSD write had not completed: it is
+                    // cancelled outright; the page never reaches the SSD
+                    // (the §4.2 race that hurts TAC on update-heavy loads).
+                    inner.records[frame] = None;
+                    inner.map.remove(&pid);
+                    inner.free.push(frame);
+                    SsdMetrics::bump(&self.metrics.tac_cancelled_writes);
+                } else {
+                    // Logical invalidation: the frame stays occupied.
+                    inner.records[frame] = Some(TacRec {
+                        valid: false,
+                        ..rec
+                    });
+                    SsdMetrics::bump(&self.metrics.invalidations);
+                }
+            }
+        }
+    }
+
+    fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) -> Time {
+        let done = self.io.write_disk_async(now, pid, data, Locality::Random);
+        // Same invalid-version refresh as the eviction flow.
+        let mut inner = self.inner.lock();
+        if let Some(&frame) = inner.map.get(&pid) {
+            let rec = inner.records[frame].unwrap();
+            if !rec.valid && !self.throttled(now) {
+                let wdone = self.io.write_ssd_async(now, frame as u64, data, pid);
+                inner.records[frame] = Some(TacRec {
+                    pid,
+                    valid: true,
+                    valid_at: wdone,
+                });
+                let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+                inner.heap.push(std::cmp::Reverse((temp, frame)));
+            }
+        }
+        done
+    }
+
+    fn has_copy(&self, pid: PageId) -> bool {
+        self.inner.lock().map.contains_key(&pid)
+    }
+
+    fn checkpoint_flush(&self, _clk: &mut Clk) {
+        // Write-through: the SSD never holds the only current copy.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbopool_iosim::DeviceSetup;
+
+    const PS: usize = 32;
+
+    fn mk(frames: u64) -> (Arc<IoManager>, TacCache) {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 4096, frames)));
+        let mut cfg = SsdConfig::new(crate::SsdDesign::Tac, frames);
+        cfg.tac_extent_pages = 4;
+        cfg.tau = 1.0; // fill every frame before qualified admission starts
+        (Arc::clone(&io), TacCache::new(cfg, io))
+    }
+
+    fn read(t: &TacCache, clk: &mut Clk, pid: u64) -> u8 {
+        let mut buf = vec![0u8; PS];
+        t.read_page(clk, PageId(pid), Locality::Random, &mut buf);
+        buf[0]
+    }
+
+    #[test]
+    fn write_on_read_then_hit() {
+        let (io, t) = mk(8);
+        io.write_disk_async(0, PageId(3), &[7u8; PS], Locality::Random);
+        let mut clk = Clk::new();
+        read(&t, &mut clk, 3);
+        assert!(t.contains_valid(PageId(3)), "admitted immediately on read");
+        // Let the in-flight SSD write complete before re-reading.
+        clk.elapse(turbopool_iosim::SECOND);
+        let disk_reads = io.disk_stats().read_ops;
+        assert_eq!(read(&t, &mut clk, 3), 7);
+        assert_eq!(io.disk_stats().read_ops, disk_reads, "second read hit SSD");
+        assert_eq!(t.metrics.snapshot().ssd_hits, 1);
+    }
+
+    #[test]
+    fn dirtying_before_write_completes_cancels_admission() {
+        let (_io, t) = mk(8);
+        let mut clk = Clk::new();
+        read(&t, &mut clk, 3);
+        // The SSD write takes ~80 us; dirty the page "immediately".
+        t.note_dirtied(clk.now, PageId(3));
+        assert!(!t.contains_valid(PageId(3)));
+        assert_eq!(t.occupancy(), 0, "cancelled write frees the frame");
+        assert_eq!(t.metrics.snapshot().tac_cancelled_writes, 1);
+        // Dirty eviction now finds NO invalid version: page skips the SSD.
+        t.evict_page(clk.now + 1, PageId(3), &[9u8; PS], true, Locality::Random);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn late_dirtying_invalidates_logically_and_wastes_space() {
+        let (_io, t) = mk(8);
+        let mut clk = Clk::new();
+        read(&t, &mut clk, 3);
+        clk.elapse(turbopool_iosim::SECOND); // write long complete
+        t.note_dirtied(clk.now, PageId(3));
+        assert!(!t.contains_valid(PageId(3)));
+        assert_eq!(t.occupancy(), 1, "frame still occupied");
+        assert_eq!(t.invalid_frames(), 1);
+        // Dirty eviction refreshes the invalid version.
+        t.evict_page(clk.now, PageId(3), &[9u8; PS], true, Locality::Random);
+        assert!(t.contains_valid(PageId(3)));
+        assert_eq!(t.invalid_frames(), 0);
+    }
+
+    #[test]
+    fn temperature_guides_replacement() {
+        let (_io, t) = mk(2);
+        let mut clk = Clk::new();
+        // Extent 0 (pids 0..4) becomes hot: many misses.
+        read(&t, &mut clk, 0);
+        read(&t, &mut clk, 1); // fills both frames (extent 0)
+                               // pid 8 (extent 2) read repeatedly heats extent 2 hugely.
+        clk.elapse(turbopool_iosim::SECOND);
+        for _ in 0..10 {
+            read(&t, &mut clk, 8);
+            t.note_dirtied(clk.now, PageId(8)); // keep it out of the SSD...
+            clk.elapse(turbopool_iosim::SECOND);
+        }
+        // By now extent 2 is far hotter than extent 0; a fresh read of pid
+        // 9 (extent 2) replaces a cold extent-0 page.
+        read(&t, &mut clk, 9);
+        assert!(t.contains_valid(PageId(9)));
+        assert_eq!(t.metrics.snapshot().replacements, 1);
+    }
+
+    #[test]
+    fn sequential_extents_stay_cold() {
+        let (_io, t) = mk(4);
+        // Sequential reads save (almost) nothing, so they add no heat.
+        let mut inner_temp = {
+            let mut clk = Clk::new();
+            let mut buf = vec![0u8; PS];
+            t.read_page(&mut clk, PageId(100), Locality::Sequential, &mut buf);
+            let inner = t.inner.lock();
+            *inner.temps.get(&(100 / 4)).unwrap_or(&0)
+        };
+        // Disk seq read (38 us) is FASTER than SSD random read (82 us):
+        // saved time clamps to zero.
+        assert_eq!(inner_temp, 0);
+        let mut clk = Clk::new();
+        let mut buf = vec![0u8; PS];
+        t.read_page(&mut clk, PageId(200), Locality::Random, &mut buf);
+        inner_temp = *t.inner.lock().temps.get(&(200 / 4)).unwrap();
+        assert!(
+            inner_temp > 800_000,
+            "random miss heats extent: {inner_temp}"
+        );
+    }
+
+    #[test]
+    fn run_trim_uses_valid_ssd_pages() {
+        let (io, t) = mk(8);
+        let mut clk = Clk::new();
+        // Put pages 0 and 1 into the SSD via reads, long ago.
+        read(&t, &mut clk, 0);
+        read(&t, &mut clk, 1);
+        clk.elapse(turbopool_iosim::SECOND);
+        io.reset_stats();
+        let pages = t.read_run(&mut clk, PageId(0), 6);
+        assert_eq!(pages.len(), 6);
+        assert_eq!(io.ssd_stats().read_ops, 2, "leading pages trimmed to SSD");
+        assert_eq!(io.disk_stats().read_pages, 4);
+    }
+}

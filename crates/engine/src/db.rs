@@ -1,0 +1,721 @@
+//! The database facade: wiring, catalog, checkpoints, crash & recovery.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use turbopool_bufpool::{BufferPool, BufferPoolConfig, DirectIo, PageIo, PoolStats, ScanCursor};
+use turbopool_core::{SsdDesign, SsdManager, TacCache};
+use turbopool_iosim::{Clk, IoManager, PageId, Time};
+use turbopool_wal::log::DurableLog;
+use turbopool_wal::{LogManager, RecoveryStats};
+
+use crate::btree::{self, IndexMeta};
+use crate::config::DbConfig;
+use crate::heap::{self, HeapMeta, Rid};
+use crate::txn::Txn;
+
+/// Handle to a heap file in the catalog.
+pub type HeapId = usize;
+/// Handle to a B+-tree index in the catalog.
+pub type IndexId = usize;
+
+struct Catalog {
+    heaps: Vec<HeapMeta>,
+    indexes: Vec<IndexMeta>,
+    names: HashMap<String, (bool, usize)>, // (is_index, id)
+}
+
+/// The storage engine: two-level buffer hierarchy over the simulated
+/// devices, with a WAL and a catalog of heaps and indexes.
+pub struct Database {
+    cfg: DbConfig,
+    io: Arc<IoManager>,
+    pool: BufferPool,
+    layer: Arc<dyn PageIo>,
+    ssd: Option<Arc<SsdManager>>,
+    tac: Option<Arc<TacCache>>,
+    log: LogManager,
+    next_tx: AtomicU64,
+    alloc: AtomicU64,
+    catalog: Mutex<Catalog>,
+}
+
+impl Database {
+    /// Open a fresh database (empty disk image, empty log).
+    pub fn open(cfg: DbConfig) -> Self {
+        let io = Arc::new(IoManager::new(&cfg.device_setup()));
+        Self::build(cfg, io, None)
+    }
+
+    fn build(cfg: DbConfig, io: Arc<IoManager>, log: Option<LogManager>) -> Self {
+        type Layers = (
+            Arc<dyn PageIo>,
+            Option<Arc<SsdManager>>,
+            Option<Arc<TacCache>>,
+        );
+        let (layer, ssd, tac): Layers = match &cfg.ssd {
+            None => (Arc::new(DirectIo::new(Arc::clone(&io))), None, None),
+            Some(scfg) if scfg.design == SsdDesign::Tac => {
+                let t = Arc::new(TacCache::new(scfg.clone(), Arc::clone(&io)));
+                (Arc::clone(&t) as Arc<dyn PageIo>, None, Some(t))
+            }
+            Some(scfg) => {
+                let m = Arc::new(SsdManager::new(scfg.clone(), Arc::clone(&io)));
+                (Arc::clone(&m) as Arc<dyn PageIo>, Some(m), None)
+            }
+        };
+        let mut pcfg = BufferPoolConfig::new(cfg.mem_frames, cfg.page_size, cfg.db_pages);
+        pcfg.fill_expansion = cfg.fill_expansion;
+        pcfg.classifier = cfg.classifier;
+        let pool = BufferPool::new(pcfg, Arc::clone(&layer));
+        let log = log.unwrap_or_else(|| LogManager::new(Arc::clone(&io)));
+        Database {
+            cfg,
+            io,
+            pool,
+            layer,
+            ssd,
+            tac,
+            log,
+            next_tx: AtomicU64::new(1),
+            alloc: AtomicU64::new(0),
+            catalog: Mutex::new(Catalog {
+                heaps: Vec::new(),
+                indexes: Vec::new(),
+                names: HashMap::new(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.cfg.page_size
+    }
+
+    pub fn io(&self) -> &Arc<IoManager> {
+        &self.io
+    }
+
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// The SSD manager when running CW/DW/LC.
+    pub fn ssd_manager(&self) -> Option<&Arc<SsdManager>> {
+        self.ssd.as_ref()
+    }
+
+    /// The TAC cache when running TAC.
+    pub fn tac_cache(&self) -> Option<&Arc<TacCache>> {
+        self.tac.as_ref()
+    }
+
+    /// SSD-manager counters regardless of design (`None` for noSSD).
+    pub fn ssd_metrics(&self) -> Option<turbopool_core::metrics::SsdMetricsSnapshot> {
+        if let Some(m) = &self.ssd {
+            Some(m.metrics.snapshot())
+        } else {
+            self.tac.as_ref().map(|t| t.metrics.snapshot())
+        }
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// True if no copy of `pid` exists anywhere (pool, SSD, disk): the page
+    /// has never been written and reads as zeroes.
+    pub(crate) fn is_fresh(&self, pid: PageId) -> bool {
+        !self.pool.contains(pid)
+            && !self.layer.has_copy(pid)
+            && !self.io.disk_store().is_materialized(pid)
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    fn alloc_pages(&self, n: u64) -> PageId {
+        let first = self.alloc.fetch_add(n, Ordering::Relaxed);
+        assert!(
+            first + n <= self.cfg.db_pages,
+            "database full: {} + {n} > {}",
+            first,
+            self.cfg.db_pages
+        );
+        PageId(first)
+    }
+
+    /// Create a heap file of `pages` pages holding `record_size`-byte
+    /// records. Costs no I/O (zeroed pages are valid empty pages).
+    pub fn create_heap(
+        &self,
+        _clk: &mut Clk,
+        name: &str,
+        record_size: usize,
+        pages: u64,
+    ) -> HeapId {
+        let first = self.alloc_pages(pages);
+        let meta = HeapMeta::new(first, pages, record_size, self.cfg.page_size);
+        let mut cat = self.catalog.lock();
+        let id = cat.heaps.len();
+        assert!(
+            cat.names.insert(name.to_string(), (false, id)).is_none(),
+            "duplicate table name {name}"
+        );
+        cat.heaps.push(meta);
+        id
+    }
+
+    /// Create a B+-tree index with a split extent of `extent_pages` pages.
+    pub fn create_index(&self, _clk: &mut Clk, name: &str, extent_pages: u64) -> IndexId {
+        let root = self.alloc_pages(1);
+        let extent = self.alloc_pages(extent_pages);
+        let meta = IndexMeta::new(root, extent, extent_pages);
+        let mut cat = self.catalog.lock();
+        let id = cat.indexes.len();
+        assert!(
+            cat.names.insert(name.to_string(), (true, id)).is_none(),
+            "duplicate index name {name}"
+        );
+        cat.indexes.push(meta);
+        id
+    }
+
+    pub fn heap_meta(&self, id: HeapId) -> HeapMeta {
+        self.catalog.lock().heaps[id].clone()
+    }
+
+    pub fn index_meta(&self, id: IndexId) -> IndexMeta {
+        self.catalog.lock().indexes[id].clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction on the given client clock.
+    pub fn begin<'d, 'c>(&'d self, clk: &'c mut Clk) -> Txn<'d, 'c> {
+        let id = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        Txn::new(self, clk, id)
+    }
+
+    // ------------------------------------------------------------------
+    // Scans
+    // ------------------------------------------------------------------
+
+    /// Full sequential scan of a heap with read-ahead; calls
+    /// `f(rid, record)` for every present record. Sees committed data only.
+    pub fn scan_heap(&self, clk: &mut Clk, id: HeapId, mut f: impl FnMut(Rid, &[u8])) {
+        let meta = self.heap_meta(id);
+        let end = meta.first.offset(meta.used_pages());
+        let mut cursor = ScanCursor::new(meta.first, end, self.cfg.readahead_window);
+        while let Some(g) = cursor.next(clk, &self.pool) {
+            let page_index = g.pid().0 - meta.first.0;
+            g.read(|b| heap::for_each_in_page(&meta, page_index, b, &mut f));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint, crash, recovery
+    // ------------------------------------------------------------------
+
+    /// Take a sharp checkpoint: flush every dirty page in the memory pool,
+    /// then (under LC) every dirty SSD page, then write and truncate the
+    /// log. With `warm_restart` enabled, the SSD buffer table is embedded
+    /// in the checkpoint record so a restart can re-adopt the SSD's
+    /// contents. Returns the virtual duration of the checkpoint.
+    pub fn checkpoint(&self, clk: &mut Clk) -> Time {
+        let start = clk.now;
+        self.pool.checkpoint(clk);
+        let ssd_table = self
+            .ssd
+            .as_ref()
+            .filter(|m| m.config().warm_restart)
+            .map(|m| turbopool_wal::LogRecord::SsdTable {
+                entries: m
+                    .export_table()
+                    .into_iter()
+                    .map(|(p, f)| (p.0, f))
+                    .collect(),
+            });
+        self.log.checkpoint_with(clk, ssd_table.as_ref());
+        self.layer.checkpoint_window(start, clk.now);
+        clk.now - start
+    }
+
+    /// Simulate a crash: all volatile state (buffer pool, SSD manager
+    /// metadata, unflushed log) is lost; the disk image, the durable log
+    /// and the (system-page-resident) catalog survive.
+    pub fn crash(self) -> CrashImage {
+        let cat = self.catalog.into_inner();
+        CrashImage {
+            cfg: self.cfg,
+            io: self.io,
+            log: self.log.durable_handle(),
+            heaps: cat.heaps,
+            indexes: cat.indexes,
+            names: cat.names,
+            alloc: self.alloc.load(Ordering::Relaxed),
+            next_tx: self.next_tx.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restart after a crash: replay the durable log onto the disk image,
+    /// then open with cold caches. As in the paper, nothing on the SSD is
+    /// reused — its buffer table was volatile (and §6 calls using it at
+    /// restart an open problem).
+    pub fn recover(image: CrashImage) -> (Self, RecoveryStats) {
+        // The machine rebooted: devices come back idle, virtual time
+        // restarts at zero for the new incarnation.
+        image.io.reset_device_time();
+        let outcome = turbopool_wal::recover(&image.log.bytes(), image.io.disk_store());
+        let log = image.log.reopen(Arc::clone(&image.io));
+        let db = Self::build(image.cfg, image.io, Some(log));
+        {
+            let mut cat = db.catalog.lock();
+            cat.heaps = image.heaps;
+            cat.indexes = image.indexes;
+            cat.names = image.names;
+        }
+        db.alloc.store(image.alloc, Ordering::Relaxed);
+        db.next_tx.store(image.next_tx, Ordering::Relaxed);
+
+        // Warm restart (extension): re-adopt SSD pages recorded in the
+        // last checkpoint that are provably still valid — the frame's
+        // in-page header must still name the page (frame not reused) and
+        // the page's disk image must not have advanced during redo.
+        if let Some(mgr) = db.ssd.as_ref().filter(|m| m.config().warm_restart) {
+            if let Some(entries) = &outcome.ssd_table {
+                let io = Arc::clone(&db.io);
+                let redone = &outcome.redone;
+                mgr.import_table(entries, |pid, frame| {
+                    io.ssd_tag(frame) == Some(pid) && !redone.contains(&pid)
+                });
+            }
+        }
+        (db, outcome.stats)
+    }
+}
+
+/// What survives a crash: the disk image, the durable log, and the catalog
+/// / allocation metadata (resident on system pages in a real engine;
+/// carried as plain values here — see DESIGN.md).
+pub struct CrashImage {
+    cfg: DbConfig,
+    io: Arc<IoManager>,
+    log: DurableLog,
+    heaps: Vec<HeapMeta>,
+    indexes: Vec<IndexMeta>,
+    names: HashMap<String, (bool, usize)>,
+    alloc: u64,
+    next_tx: u64,
+}
+
+// ---------------------------------------------------------------------
+// Transaction-level data access (convenience methods on Txn)
+// ---------------------------------------------------------------------
+
+impl Txn<'_, '_> {
+    /// Page size of the underlying database.
+    pub fn page_size(&self) -> usize {
+        self.db.page_size()
+    }
+
+    /// Insert a record into a heap.
+    pub fn heap_insert(&mut self, id: HeapId, data: &[u8]) -> Result<Rid, heap::HeapFull> {
+        let meta = self.db.heap_meta(id);
+        heap::insert(self, &meta, data)
+    }
+
+    /// Read a record from a heap.
+    pub fn heap_get(&mut self, id: HeapId, rid: Rid) -> Option<Vec<u8>> {
+        let meta = self.db.heap_meta(id);
+        heap::get(self, &meta, rid)
+    }
+
+    /// Overwrite a record in a heap.
+    pub fn heap_update(&mut self, id: HeapId, rid: Rid, data: &[u8]) -> bool {
+        let meta = self.db.heap_meta(id);
+        heap::update(self, &meta, rid, data)
+    }
+
+    /// Delete a record from a heap.
+    pub fn heap_delete(&mut self, id: HeapId, rid: Rid) -> bool {
+        let meta = self.db.heap_meta(id);
+        heap::delete(self, &meta, rid)
+    }
+
+    /// Insert (or replace) a key in an index.
+    pub fn index_insert(&mut self, id: IndexId, key: u64, val: u64) {
+        let meta = self.db.index_meta(id);
+        btree::insert(self, &meta, key, val);
+    }
+
+    /// Point lookup in an index.
+    pub fn index_get(&mut self, id: IndexId, key: u64) -> Option<u64> {
+        let meta = self.db.index_meta(id);
+        btree::get(self, &meta, key)
+    }
+
+    /// Range scan `lo..=hi` (up to `limit` results, key order).
+    pub fn index_range(&mut self, id: IndexId, lo: u64, hi: u64, limit: usize) -> Vec<(u64, u64)> {
+        let meta = self.db.index_meta(id);
+        btree::range(self, &meta, lo, hi, limit)
+    }
+
+    /// Delete a key from an index.
+    pub fn index_delete(&mut self, id: IndexId, key: u64) -> bool {
+        let meta = self.db.index_meta(id);
+        btree::delete(self, &meta, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::open(DbConfig::small_for_tests())
+    }
+
+    #[test]
+    fn heap_insert_get_round_trip() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 16);
+        let mut txn = db.begin(&mut clk);
+        let rid = txn.heap_insert(h, b"hello").unwrap();
+        assert_eq!(&txn.heap_get(h, rid).unwrap()[..5], b"hello");
+        txn.commit();
+        // Visible in a new transaction.
+        let mut txn = db.begin(&mut clk);
+        assert_eq!(&txn.heap_get(h, rid).unwrap()[..5], b"hello");
+        txn.commit();
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 16);
+        let rid = {
+            let mut txn = db.begin(&mut clk);
+            let rid = txn.heap_insert(h, b"gone").unwrap();
+            txn.abort();
+            rid
+        };
+        let mut txn = db.begin(&mut clk);
+        assert!(txn.heap_get(h, rid).is_none());
+        txn.commit();
+    }
+
+    #[test]
+    fn read_only_txn_writes_no_log() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 16);
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h, b"x").unwrap();
+            txn.commit();
+        }
+        let before = db.log().flushed_lsn();
+        let mut txn = db.begin(&mut clk);
+        txn.heap_get(h, 0);
+        txn.commit();
+        assert_eq!(db.log().flushed_lsn(), before);
+    }
+
+    #[test]
+    fn btree_insert_get_thousands_with_splits() {
+        let db = db();
+        let mut clk = Clk::new();
+        let idx = db.create_index(&mut clk, "i", 400);
+        let mut txn = db.begin(&mut clk);
+        // Insert in a scrambled order to exercise splits on both sides.
+        let n = 1000u64;
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            txn.index_insert(idx, k, k * 10);
+        }
+        for k in 0..n {
+            assert_eq!(txn.index_get(idx, k), Some(k * 10), "key {k}");
+        }
+        assert_eq!(txn.index_get(idx, n + 5), None);
+        txn.commit();
+    }
+
+    #[test]
+    fn btree_upsert_replaces() {
+        let db = db();
+        let mut clk = Clk::new();
+        let idx = db.create_index(&mut clk, "i", 50);
+        let mut txn = db.begin(&mut clk);
+        txn.index_insert(idx, 5, 1);
+        txn.index_insert(idx, 5, 2);
+        assert_eq!(txn.index_get(idx, 5), Some(2));
+        txn.commit();
+    }
+
+    #[test]
+    fn btree_range_is_sorted_and_bounded() {
+        let db = db();
+        let mut clk = Clk::new();
+        let idx = db.create_index(&mut clk, "i", 200);
+        let mut txn = db.begin(&mut clk);
+        for k in (0..1000u64).rev() {
+            txn.index_insert(idx, k * 2, k);
+        }
+        let r = txn.index_range(idx, 100, 140, 100);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120, 122, 124, 126, 128, 130,
+                132, 134, 136, 138, 140
+            ]
+        );
+        let limited = txn.index_range(idx, 0, u64::MAX, 7);
+        assert_eq!(limited.len(), 7);
+        assert_eq!(limited[6].0, 12);
+        txn.commit();
+    }
+
+    #[test]
+    fn btree_delete_removes() {
+        let db = db();
+        let mut clk = Clk::new();
+        let idx = db.create_index(&mut clk, "i", 100);
+        let mut txn = db.begin(&mut clk);
+        for k in 0..500u64 {
+            txn.index_insert(idx, k, k);
+        }
+        assert!(txn.index_delete(idx, 250));
+        assert!(!txn.index_delete(idx, 250));
+        assert_eq!(txn.index_get(idx, 250), None);
+        assert_eq!(txn.index_get(idx, 251), Some(251));
+        let r = txn.index_range(idx, 248, 252, 10);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![248, 249, 251, 252]);
+        txn.commit();
+    }
+
+    #[test]
+    fn scan_heap_sees_all_committed_records() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 16, 64);
+        let mut txn = db.begin(&mut clk);
+        for i in 0..100u64 {
+            txn.heap_insert(h, &i.to_le_bytes()).unwrap();
+        }
+        txn.commit();
+        let mut seen = Vec::new();
+        db.scan_heap(&mut clk, h, |rid, rec| {
+            seen.push((rid, u64::from_le_bytes(rec[..8].try_into().unwrap())));
+        });
+        assert_eq!(seen.len(), 100);
+        assert!(seen.iter().all(|&(rid, v)| rid == v));
+    }
+
+    #[test]
+    fn crash_before_commit_loses_nothing_committed() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 32);
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h, b"durable").unwrap();
+            txn.commit();
+        }
+        // A transaction in flight at crash time:
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h, b"lost").unwrap();
+            txn.abort(); // never committed
+        }
+        let (db2, stats) = Database::recover(db.crash());
+        assert!(stats.writes_applied > 0);
+        let mut clk = Clk::new();
+        let mut txn = db2.begin(&mut clk);
+        assert_eq!(&txn.heap_get(h, 0).unwrap()[..7], b"durable");
+        assert!(txn.heap_get(h, 1).is_none());
+        txn.commit();
+    }
+
+    #[test]
+    fn recovery_after_checkpoint_replays_only_the_tail() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 32);
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h, b"before").unwrap();
+            txn.commit();
+        }
+        db.checkpoint(&mut clk);
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h, b"after").unwrap();
+            txn.commit();
+        }
+        let (db2, stats) = Database::recover(db.crash());
+        // Only the post-checkpoint transaction is replayed.
+        assert_eq!(stats.txns_redone, 1);
+        let mut clk = Clk::new();
+        let mut txn = db2.begin(&mut clk);
+        assert_eq!(&txn.heap_get(h, 0).unwrap()[..6], b"before");
+        assert_eq!(&txn.heap_get(h, 1).unwrap()[..5], b"after");
+        txn.commit();
+    }
+
+    #[test]
+    fn checkpoint_leaves_no_dirty_pages() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 32);
+        let mut txn = db.begin(&mut clk);
+        for i in 0..20u64 {
+            txn.heap_insert(h, &i.to_le_bytes()).unwrap();
+        }
+        txn.commit();
+        assert!(db.pool().dirty_count() > 0);
+        db.checkpoint(&mut clk);
+        assert_eq!(db.pool().dirty_count(), 0);
+    }
+
+    #[test]
+    fn fresh_pages_cost_no_read_io() {
+        let db = db();
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 32);
+        let reads_before = db.io().disk_stats().read_ops;
+        let mut txn = db.begin(&mut clk);
+        txn.heap_insert(h, b"first-touch").unwrap();
+        txn.commit();
+        assert_eq!(db.io().disk_stats().read_ops, reads_before);
+    }
+
+    #[test]
+    fn fresh_page_write_read_back_after_eviction() {
+        // A page created fresh, evicted, and re-read must round-trip.
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.mem_frames = 2;
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 64);
+        let mut rids = Vec::new();
+        for i in 0..30u64 {
+            let mut txn = db.begin(&mut clk);
+            rids.push(txn.heap_insert(h, &i.to_le_bytes()).unwrap());
+            txn.commit();
+        }
+        let mut txn = db.begin(&mut clk);
+        for (i, rid) in rids.iter().enumerate() {
+            let rec = txn.heap_get(h, *rid).unwrap();
+            assert_eq!(u64::from_le_bytes(rec[..8].try_into().unwrap()), i as u64);
+        }
+        txn.commit();
+    }
+
+    #[test]
+    fn works_identically_across_designs() {
+        use turbopool_core::{SsdConfig, SsdDesign};
+        for design in [
+            None,
+            Some(SsdDesign::CleanWrite),
+            Some(SsdDesign::DualWrite),
+            Some(SsdDesign::LazyCleaning),
+            Some(SsdDesign::Tac),
+        ] {
+            let mut cfg = DbConfig::small_for_tests();
+            cfg.mem_frames = 4;
+            cfg.ssd = design.map(|d| {
+                let mut s = SsdConfig::new(d, 16);
+                s.partitions = 2;
+                s
+            });
+            let db = Database::open(cfg);
+            let mut clk = Clk::new();
+            let h = db.create_heap(&mut clk, "t", 16, 32);
+            let idx = db.create_index(&mut clk, "i", 64);
+            let mut rids = Vec::new();
+            for i in 0..200u64 {
+                let mut txn = db.begin(&mut clk);
+                let rid = txn.heap_insert(h, &i.to_le_bytes()).unwrap();
+                txn.index_insert(idx, i, rid);
+                txn.commit();
+                rids.push(rid);
+            }
+            let mut txn = db.begin(&mut clk);
+            for i in (0..200u64).step_by(7) {
+                let rid = txn.index_get(idx, i).unwrap();
+                let rec = txn.heap_get(h, rid).unwrap();
+                assert_eq!(
+                    u64::from_le_bytes(rec[..8].try_into().unwrap()),
+                    i,
+                    "design {design:?}"
+                );
+            }
+            txn.commit();
+        }
+    }
+
+    #[test]
+    fn ssd_copies_are_invalidated_on_commit() {
+        use turbopool_core::{SsdConfig, SsdDesign};
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.mem_frames = 2;
+        let mut s = SsdConfig::new(SsdDesign::DualWrite, 32);
+        s.partitions = 1;
+        cfg.ssd = Some(s);
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 32, 8);
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h, b"v1").unwrap();
+            txn.commit();
+        }
+        // Evict the page into the SSD by touching others.
+        let h2 = db.create_heap(&mut clk, "u", 32, 8);
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_insert(h2, b"x").unwrap();
+            txn.heap_insert(h2, b"y").unwrap();
+            txn.commit();
+        }
+        let meta = db.heap_meta(h);
+        let cached_before = db.ssd_manager().unwrap().contains(meta.first);
+        // Update the record: the commit dirties the page, invalidating the
+        // SSD copy; the Figure-3 invariant (mem==ssd when both) holds.
+        {
+            let mut txn = db.begin(&mut clk);
+            txn.heap_update(h, 0, b"v2");
+            txn.commit();
+        }
+        if cached_before {
+            assert!(
+                !db.ssd_manager().unwrap().is_dirty(meta.first),
+                "DW must never hold a newer-than-disk SSD copy"
+            );
+        }
+        let mut txn = db.begin(&mut clk);
+        assert_eq!(&txn.heap_get(h, 0).unwrap()[..2], b"v2");
+        txn.commit();
+    }
+}

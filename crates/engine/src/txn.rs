@@ -1,0 +1,212 @@
+//! Transactions: private write buffering, commit-time logging/publication.
+
+use std::collections::HashMap;
+
+use turbopool_iosim::{Clk, Locality, PageBuf, PageId};
+use turbopool_wal::{LogRecord, TxId};
+
+use crate::db::Database;
+
+/// Minimum run of unchanged bytes that splits a page diff into two log
+/// records. Smaller gaps are cheaper to log as part of one record than as
+/// a second record header.
+const DIFF_GAP: usize = 32;
+
+/// Compute the minimal set of changed byte ranges between two page images.
+pub(crate) fn diff_ranges(before: &[u8], after: &[u8]) -> Vec<(u32, Vec<u8>)> {
+    debug_assert_eq!(before.len(), after.len());
+    let mut out: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut i = 0usize;
+    let n = before.len();
+    while i < n {
+        if before[i] == after[i] {
+            i += 1;
+            continue;
+        }
+        // Start of a changed range; extend until DIFF_GAP unchanged bytes.
+        let start = i;
+        let mut end = i + 1;
+        let mut gap = 0usize;
+        let mut j = end;
+        while j < n && gap < DIFF_GAP {
+            if before[j] != after[j] {
+                end = j + 1;
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+            j += 1;
+        }
+        out.push((start as u32, after[start..end].to_vec()));
+        i = end;
+    }
+    out
+}
+
+/// An in-flight transaction.
+///
+/// Reads see the transaction's own writes through a page overlay; writes
+/// stay private until [`Txn::commit`], which logs the byte-level deltas,
+/// flushes the log (WAL), and only then publishes the modified pages to the
+/// buffer pool. [`Txn::abort`] (or dropping the transaction) discards
+/// everything.
+pub struct Txn<'d, 'c> {
+    pub(crate) db: &'d Database,
+    pub clk: &'c mut Clk,
+    id: TxId,
+    overlay: HashMap<PageId, PageBuf>,
+    ops: Vec<LogRecord>,
+}
+
+impl<'d, 'c> Txn<'d, 'c> {
+    pub(crate) fn new(db: &'d Database, clk: &'c mut Clk, id: TxId) -> Self {
+        Txn {
+            db,
+            clk,
+            id,
+            overlay: HashMap::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// Bytes of redo this transaction has generated so far.
+    pub fn log_bytes(&self) -> usize {
+        self.ops.iter().map(|r| r.encoded_len()).sum()
+    }
+
+    /// Read page `pid` (own writes visible). `class` is the declared access
+    /// locality (index lookups are random; scans go through
+    /// [`Database::scan_heap`] instead).
+    pub fn read_page<R>(&mut self, pid: PageId, class: Locality, f: impl FnOnce(&[u8]) -> R) -> R {
+        if let Some(p) = self.overlay.get(&pid) {
+            return f(p.as_slice());
+        }
+        if self.db.is_fresh(pid) {
+            // Never-written page: reads as zeroes with no I/O and no frame.
+            return f(&vec![0u8; self.db.page_size()]);
+        }
+        let g = self.db.pool().get(self.clk, pid, class);
+        g.read(f)
+    }
+
+    /// Modify page `pid` in the transaction's private overlay. The change
+    /// is diffed against the pre-image and logged as byte ranges at commit.
+    pub fn write_page<R>(
+        &mut self,
+        pid: PageId,
+        class: Locality,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        if !self.overlay.contains_key(&pid) {
+            let mut buf = PageBuf::zeroed(self.db.page_size());
+            if !self.db.is_fresh(pid) {
+                let g = self.db.pool().get(self.clk, pid, class);
+                g.read(|b| buf.copy_from(b));
+            }
+            self.overlay.insert(pid, buf);
+        }
+        let page = self.overlay.get_mut(&pid).unwrap();
+        let before = page.clone();
+        let r = f(page.as_mut_slice());
+        for (offset, data) in diff_ranges(before.as_slice(), page.as_slice()) {
+            self.ops.push(LogRecord::PageWrite {
+                txid: self.id,
+                pid,
+                offset,
+                data,
+            });
+        }
+        r
+    }
+
+    /// Commit: log, flush (WAL), publish. Read-only transactions are free.
+    pub fn commit(self) {
+        if self.ops.is_empty() {
+            return;
+        }
+        let log = self.db.log();
+        for rec in &self.ops {
+            log.append(rec);
+        }
+        log.append(&LogRecord::Commit { txid: self.id });
+        log.flush(self.clk);
+        // Publication: install the after-images into the buffer pool,
+        // dirtying the pages (which invalidates any SSD copies).
+        for (pid, image) in self.overlay {
+            if self.db.pool().contains(pid) || !self.db.is_fresh(pid) {
+                let mut g = self.db.pool().get(self.clk, pid, Locality::Random);
+                g.write(self.clk.now, |b| b.copy_from_slice(image.as_slice()));
+            } else {
+                let mut g = self.db.pool().create(self.clk.now, pid);
+                g.write(self.clk.now, |b| b.copy_from_slice(image.as_slice()));
+            }
+        }
+    }
+
+    /// Discard all buffered writes.
+    pub fn abort(self) {
+        // Dropping the overlay is the whole rollback.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_finds_single_range() {
+        let a = vec![0u8; 100];
+        let mut b = a.clone();
+        b[10] = 1;
+        b[12] = 2;
+        let d = diff_ranges(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, 10);
+        assert_eq!(d[0].1, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn diff_splits_on_large_gaps() {
+        let a = vec![0u8; 200];
+        let mut b = a.clone();
+        b[0] = 1;
+        b[150] = 2;
+        let d = diff_ranges(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (0, vec![1]));
+        assert_eq!(d[1], (150, vec![2]));
+    }
+
+    #[test]
+    fn diff_merges_small_gaps() {
+        let a = vec![0u8; 100];
+        let mut b = a.clone();
+        b[10] = 1;
+        b[20] = 2; // 9-byte gap < DIFF_GAP
+        let d = diff_ranges(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, 10);
+        assert_eq!(d[0].1.len(), 11);
+    }
+
+    #[test]
+    fn diff_of_identical_pages_is_empty() {
+        let a = vec![7u8; 64];
+        assert!(diff_ranges(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn diff_covers_page_edges() {
+        let a = vec![0u8; 64];
+        let mut b = a.clone();
+        b[0] = 1;
+        b[63] = 1;
+        let d = diff_ranges(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[1].0, 63);
+    }
+}

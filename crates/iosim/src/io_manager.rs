@@ -1,0 +1,415 @@
+//! The disk manager: one facade over the database disk array, the SSD, and
+//! the log device, combining timing (devices) with data (stores).
+//!
+//! This is the component the buffer manager and the SSD manager talk to
+//! (Figure 1 of the paper). Reads are synchronous — the caller's virtual
+//! clock advances to the completion time. Writes come in both synchronous
+//! and asynchronous flavors; asynchronous writes charge device time (and so
+//! delay later requests on the same device) without advancing the caller's
+//! clock, mirroring the write-behind I/O of the paper's disk manager.
+
+use crate::array::StripedArray;
+use crate::clock::{Clk, Time};
+use crate::device::{DeviceProfile, IoKind, Locality, SimDevice};
+use crate::page::{PageBuf, PageId};
+use crate::profiles;
+use crate::store::{MemStore, PageStore};
+
+/// Sizing and calibration of the simulated storage subsystem.
+#[derive(Clone, Debug)]
+pub struct DeviceSetup {
+    /// Page size in bytes (8192 in the paper; tests use smaller pages).
+    pub page_size: usize,
+    /// Capacity of the database file group, in pages.
+    pub db_pages: u64,
+    /// Capacity of the SSD buffer-pool file, in frames (the paper's `S`).
+    pub ssd_frames: u64,
+    /// Member count of the striped disk group (8 in the paper).
+    pub num_disks: u64,
+    /// Aggregate profile of the whole disk group.
+    pub disk_profile: DeviceProfile,
+    /// SSD profile.
+    pub ssd_profile: DeviceProfile,
+    /// Log device profile.
+    pub log_profile: DeviceProfile,
+}
+
+impl DeviceSetup {
+    /// The paper's testbed calibration (Table 1) with caller-chosen sizes.
+    pub fn paper(page_size: usize, db_pages: u64, ssd_frames: u64) -> Self {
+        DeviceSetup {
+            page_size,
+            db_pages,
+            ssd_frames,
+            num_disks: profiles::PAPER_NUM_DISKS,
+            disk_profile: profiles::hdd_array_profile(),
+            ssd_profile: profiles::ssd_profile(),
+            log_profile: profiles::log_disk_profile(),
+        }
+    }
+
+    /// The paper calibration with all device service times multiplied by
+    /// `k` (see [`crate::device::DeviceProfile::time_scaled`]): used with
+    /// `1/k`-scaled database sizes so that every ratio the evaluation
+    /// depends on is preserved.
+    pub fn paper_time_scaled(page_size: usize, db_pages: u64, ssd_frames: u64, k: f64) -> Self {
+        let mut s = Self::paper(page_size, db_pages, ssd_frames);
+        s.disk_profile = s.disk_profile.time_scaled(k);
+        s.ssd_profile = s.ssd_profile.time_scaled(k);
+        s.log_profile = s.log_profile.time_scaled(k);
+        s
+    }
+}
+
+/// Combined timing + data I/O manager for all three storage tiers.
+pub struct IoManager {
+    setup: DeviceSetup,
+    page_size: usize,
+    disk: StripedArray,
+    disk_store: MemStore,
+    ssd_dev: SimDevice,
+    ssd_store: MemStore,
+    /// Self-identification tag per SSD frame: the page id + 1 of the page
+    /// last written there (0 = never written). Models the page-id header a
+    /// real cache stores inside each cached page — persisted with the page
+    /// at no extra I/O cost, and the basis of warm-restart validation.
+    ssd_tags: Vec<std::sync::atomic::AtomicU64>,
+    log_dev: SimDevice,
+    log_lba: parking_lot::Mutex<u64>,
+}
+
+impl IoManager {
+    pub fn new(setup: &DeviceSetup) -> Self {
+        IoManager {
+            setup: setup.clone(),
+            page_size: setup.page_size,
+            disk: StripedArray::from_aggregate("hdd", setup.disk_profile, setup.num_disks),
+            disk_store: MemStore::new(setup.db_pages, setup.page_size),
+            ssd_dev: SimDevice::new("ssd", setup.ssd_profile),
+            ssd_store: MemStore::new(setup.ssd_frames, setup.page_size),
+            ssd_tags: (0..setup.ssd_frames)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            log_dev: SimDevice::new("log", setup.log_profile),
+            log_lba: parking_lot::Mutex::new(0),
+        }
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The calibration this manager was built with.
+    pub fn setup(&self) -> &DeviceSetup {
+        &self.setup
+    }
+
+    pub fn db_pages(&self) -> u64 {
+        self.disk_store.num_pages()
+    }
+
+    pub fn ssd_frames(&self) -> u64 {
+        self.ssd_store.num_pages()
+    }
+
+    // ------------------------------------------------------------------
+    // Database disk group
+    // ------------------------------------------------------------------
+
+    /// Synchronously read one database page.
+    pub fn read_disk(&self, clk: &mut Clk, pid: PageId, buf: &mut [u8], hint: Locality) {
+        let t = self
+            .disk
+            .submit_page(clk.now, IoKind::Read, pid, Some(hint));
+        self.disk_store.read(pid, buf);
+        clk.wait_until(t.complete);
+    }
+
+    /// Synchronously read the consecutive run `first .. first + n` as one
+    /// multi-page request (read-ahead path, §3.3.3).
+    ///
+    /// The `hint` is advisory for the first page of each per-disk span:
+    /// `Sequential` trusts the caller, anything else lets the devices
+    /// auto-detect adjacency — so interleaved scan streams pay their
+    /// real seeks.
+    pub fn read_disk_run(
+        &self,
+        clk: &mut Clk,
+        first: PageId,
+        n: u64,
+        hint: Locality,
+    ) -> Vec<PageBuf> {
+        let _ = hint; // adjacency is auto-detected per member span
+        let t = self.disk.submit_run(clk.now, IoKind::Read, first, n, None);
+        let mut out = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut buf = PageBuf::zeroed(self.page_size);
+            self.disk_store.read(first.offset(i), buf.as_mut_slice());
+            out.push(buf);
+        }
+        clk.wait_until(t.complete);
+        out
+    }
+
+    /// Asynchronously write one database page; returns the completion time.
+    /// The store is updated immediately so later reads observe the data.
+    pub fn write_disk_async(&self, now: Time, pid: PageId, data: &[u8], hint: Locality) -> Time {
+        let t = self.disk.submit_page(now, IoKind::Write, pid, Some(hint));
+        self.disk_store.write(pid, data);
+        t.complete
+    }
+
+    /// Synchronously write one database page.
+    pub fn write_disk_sync(&self, clk: &mut Clk, pid: PageId, data: &[u8], hint: Locality) {
+        let done = self.write_disk_async(clk.now, pid, data, hint);
+        clk.wait_until(done);
+    }
+
+    /// Asynchronously write a consecutive run of pages as one request
+    /// (group cleaning, §3.3.5). `pages[i]` is written to `first + i`.
+    pub fn write_disk_run_async(&self, now: Time, first: PageId, pages: &[&[u8]]) -> Time {
+        assert!(!pages.is_empty());
+        let t = self.disk.submit_run(
+            now,
+            IoKind::Write,
+            first,
+            pages.len() as u64,
+            // First page still seeks; the rest stream.
+            Some(Locality::Random),
+        );
+        for (i, data) in pages.iter().enumerate() {
+            self.disk_store.write(first.offset(i as u64), data);
+        }
+        t.complete
+    }
+
+    /// Outstanding request count on the disk group.
+    pub fn disk_queue_depth(&self, now: Time) -> usize {
+        self.disk.queue_depth(now)
+    }
+
+    // ------------------------------------------------------------------
+    // SSD buffer-pool file
+    // ------------------------------------------------------------------
+
+    /// Synchronously read one SSD frame.
+    pub fn read_ssd(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) {
+        let t = self
+            .ssd_dev
+            .submit(clk.now, IoKind::Read, frame, 1, Some(Locality::Random));
+        self.ssd_store.read(PageId(frame), buf);
+        clk.wait_until(t.complete);
+    }
+
+    /// Asynchronously write one SSD frame; returns completion time. `tag`
+    /// is the database page the frame now caches (stored as an in-page
+    /// header, see `ssd_tag`).
+    pub fn write_ssd_async(&self, now: Time, frame: u64, data: &[u8], tag: PageId) -> Time {
+        let t = self
+            .ssd_dev
+            .submit(now, IoKind::Write, frame, 1, Some(Locality::Random));
+        self.ssd_store.write(PageId(frame), data);
+        self.ssd_tags[frame as usize].store(tag.0 + 1, std::sync::atomic::Ordering::Relaxed);
+        t.complete
+    }
+
+    /// Synchronously write one SSD frame.
+    pub fn write_ssd_sync(&self, clk: &mut Clk, frame: u64, data: &[u8], tag: PageId) {
+        let done = self.write_ssd_async(clk.now, frame, data, tag);
+        clk.wait_until(done);
+    }
+
+    /// The page id cached in `frame` per its in-page header, if any. This
+    /// survives restarts (it lives in the frame itself).
+    pub fn ssd_tag(&self, frame: u64) -> Option<PageId> {
+        let t = self.ssd_tags[frame as usize].load(std::sync::atomic::Ordering::Relaxed);
+        (t != 0).then(|| PageId(t - 1))
+    }
+
+    /// Pending I/O count on the SSD — the quantity the throttle-control
+    /// optimization (threshold `mu`, §3.3.2) monitors.
+    pub fn ssd_queue_depth(&self, now: Time) -> usize {
+        self.ssd_dev.queue_depth(now)
+    }
+
+    /// Throttle-control predicate: is the SSD overloaded around `now`,
+    /// with more than `mu` requests' worth of capacity booked?
+    pub fn ssd_overloaded(&self, now: Time, mu: usize) -> bool {
+        self.ssd_dev.overloaded(now, mu)
+    }
+
+    // ------------------------------------------------------------------
+    // Log device
+    // ------------------------------------------------------------------
+
+    /// Synchronously append `nbytes` to the log (group flush). The log is a
+    /// pure stream of sequential writes on its dedicated device; service
+    /// time is charged per byte (amortized group commit — many commits
+    /// share each physical log write, so a commit of a few hundred bytes
+    /// does not pay for a whole page).
+    pub fn append_log(&self, clk: &mut Clk, nbytes: usize) {
+        let seq_ns = self.setup.log_profile.seq_write_ns;
+        let service =
+            ((nbytes.max(1) as u128 * seq_ns as u128) / self.page_size as u128).max(1) as Time;
+        let npages = (nbytes.max(1)).div_ceil(self.page_size) as u64;
+        {
+            let mut g = self.log_lba.lock();
+            *g += npages;
+        }
+        let t = self
+            .log_dev
+            .submit_duration(clk.now, IoKind::Write, service, npages);
+        clk.wait_until(t.complete);
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Aggregate disk-group statistics.
+    pub fn disk_stats(&self) -> crate::stats::StatSnapshot {
+        self.disk.stats_snapshot()
+    }
+
+    pub fn ssd_stats(&self) -> crate::stats::StatSnapshot {
+        self.ssd_dev.stats().snapshot()
+    }
+
+    pub fn log_stats(&self) -> crate::stats::StatSnapshot {
+        self.log_dev.stats().snapshot()
+    }
+
+    /// Enable time-bucketed traffic series on the disk group and the SSD
+    /// (Figure 8 support).
+    pub fn enable_series(&self, bucket_ns: Time) {
+        self.disk.enable_series(bucket_ns);
+        self.ssd_dev.stats().enable_series(bucket_ns);
+    }
+
+    /// Disk-group traffic series: `(bucket_start, read_pages, write_pages)`.
+    pub fn disk_series(&self) -> Vec<(Time, u64, u64)> {
+        self.disk.series()
+    }
+
+    /// SSD traffic series.
+    pub fn ssd_series(&self) -> Vec<(Time, u64, u64)> {
+        self.ssd_dev.stats().series()
+    }
+
+    /// Reset all device *timing* state — capacity bookings, queues,
+    /// sequential positions — while keeping statistics and data. Called at
+    /// restart so a recovered system starts with idle devices at virtual
+    /// time zero.
+    pub fn reset_device_time(&self) {
+        self.disk.reset_time();
+        self.ssd_dev.reset_time();
+        self.log_dev.reset_time();
+    }
+
+    /// Reset all device statistics (e.g. between warm-up and measurement).
+    pub fn reset_stats(&self) {
+        self.disk.reset_stats();
+        self.ssd_dev.stats().reset();
+        self.log_dev.stats().reset();
+    }
+
+    /// Direct access to the persistent database bytes, bypassing timing.
+    /// Used by recovery (replaying the log onto the database) and by tests
+    /// that inspect the "on disk" state after a simulated crash.
+    pub fn disk_store(&self) -> &dyn PageStore {
+        &self.disk_store
+    }
+
+    /// Direct access to the SSD bytes, bypassing timing (tests only; the
+    /// paper's designs never read the SSD after a restart).
+    pub fn ssd_store(&self) -> &dyn PageStore {
+        &self.ssd_store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io() -> IoManager {
+        IoManager::new(&DeviceSetup::paper(64, 128, 16))
+    }
+
+    #[test]
+    fn disk_write_then_read_round_trips_and_charges_time() {
+        let io = io();
+        let mut clk = Clk::new();
+        let data = vec![3u8; 64];
+        io.write_disk_sync(&mut clk, PageId(5), &data, Locality::Random);
+        let after_write = clk.now;
+        assert!(after_write > 0);
+        let mut buf = vec![0u8; 64];
+        io.read_disk(&mut clk, PageId(5), &mut buf, Locality::Random);
+        assert_eq!(buf, data);
+        assert!(clk.now > after_write);
+    }
+
+    #[test]
+    fn async_write_does_not_advance_clock_but_is_visible() {
+        let io = io();
+        let mut clk = Clk::new();
+        let done = io.write_disk_async(clk.now, PageId(1), &[9u8; 64], Locality::Random);
+        assert_eq!(clk.now, 0);
+        assert!(done > 0);
+        let mut buf = vec![0u8; 64];
+        io.read_disk(&mut clk, PageId(1), &mut buf, Locality::Random);
+        assert_eq!(buf[0], 9);
+        // The read queued behind the async write on the same disk.
+        assert!(clk.now >= done);
+    }
+
+    #[test]
+    fn run_read_returns_pages_in_order() {
+        let io = io();
+        let mut clk = Clk::new();
+        for i in 0..4u64 {
+            io.write_disk_async(0, PageId(10 + i), &[i as u8; 64], Locality::Sequential);
+        }
+        let pages = io.read_disk_run(&mut clk, PageId(10), 4, Locality::Sequential);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.as_slice()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn ssd_round_trip() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.write_ssd_sync(&mut clk, 3, &[0xCD; 64], PageId(77));
+        let mut buf = vec![0u8; 64];
+        io.read_ssd(&mut clk, 3, &mut buf);
+        assert_eq!(buf[0], 0xCD);
+        assert_eq!(io.ssd_stats().read_pages, 1);
+        assert_eq!(io.ssd_stats().write_pages, 1);
+        assert_eq!(io.ssd_tag(3), Some(PageId(77)));
+        assert_eq!(io.ssd_tag(4), None);
+    }
+
+    #[test]
+    fn log_appends_are_sequential_and_advance_clock() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.append_log(&mut clk, 10);
+        let first = clk.now;
+        io.append_log(&mut clk, 200);
+        assert!(clk.now > first);
+        // 10 bytes -> 1 page, 200 bytes -> 4 pages (64-byte pages).
+        assert_eq!(io.log_stats().write_pages, 5);
+    }
+
+    #[test]
+    fn queue_depth_reflects_outstanding_async_writes() {
+        let io = io();
+        for f in 0..5 {
+            io.write_ssd_async(0, f, &[0u8; 64], PageId(f));
+        }
+        assert!(io.ssd_queue_depth(0) >= 4);
+        let far = 10 * crate::clock::SECOND;
+        assert_eq!(io.ssd_queue_depth(far), 0);
+    }
+}

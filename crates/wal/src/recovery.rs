@@ -1,0 +1,283 @@
+//! Crash recovery: redo committed page writes after the last checkpoint.
+
+use std::collections::HashSet;
+
+use turbopool_iosim::{PageId, PageStore};
+
+use crate::record::{decode_all, LogRecord};
+use crate::TxId;
+
+/// Full result of a recovery pass.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryOutcome {
+    /// Counters.
+    pub stats: RecoveryStats,
+    /// Pages whose disk image advanced during redo: their pre-crash SSD
+    /// copies are stale and must not be warm-imported.
+    pub redone: HashSet<PageId>,
+    /// The SSD buffer table embedded in the last checkpoint, if any.
+    pub ssd_table: Option<Vec<(PageId, u64)>>,
+}
+
+/// Outcome counters from a recovery pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records scanned after the last checkpoint.
+    pub records_scanned: usize,
+    /// Distinct committed transactions whose writes were redone.
+    pub txns_redone: usize,
+    /// Individual page-write records applied.
+    pub writes_applied: usize,
+    /// Page-write records skipped because their transaction never committed.
+    pub writes_skipped: usize,
+}
+
+/// Replay the durable log onto the persistent database.
+///
+/// Two passes over the suffix that follows the last checkpoint record:
+/// first collect the set of committed transactions, then apply their
+/// `PageWrite` after-images to `db` in log order. Writes of transactions
+/// without a commit record are losers (the crash interrupted their commit
+/// before the log flush finished) and are skipped — which is also correct,
+/// because commit-time publication means no page they touched was ever
+/// dirtied in the buffer pool.
+///
+/// The SSD is deliberately *not* consulted: as in the paper (§6), no design
+/// uses SSD contents at restart, so recovery sees only the disk image plus
+/// the log. Under LC this is safe because every sharp checkpoint flushed all
+/// SSD-dirty pages before writing its checkpoint record, and post-checkpoint
+/// committed writes are all in the log suffix being replayed.
+pub fn recover(log_bytes: &[u8], db: &dyn PageStore) -> RecoveryOutcome {
+    let records = decode_all(log_bytes);
+    // Start after the *last* checkpoint (the log manager truncates, but a
+    // crash can land between two checkpoints of an untruncated stream).
+    let start = records
+        .iter()
+        .rposition(|r| matches!(r, LogRecord::Checkpoint))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    // The warm-restart table, if one was embedded in that checkpoint.
+    let ssd_table = (start > 0)
+        .then(|| {
+            records[..start - 1].iter().rev().find_map(|r| match r {
+                LogRecord::SsdTable { entries } => Some(
+                    entries
+                        .iter()
+                        .map(|&(p, f)| (PageId(p), f))
+                        .collect::<Vec<_>>(),
+                ),
+                // Only a table directly attached to this checkpoint counts.
+                LogRecord::Checkpoint => None,
+                _ => None,
+            })
+        })
+        .flatten();
+    let tail = &records[start..];
+
+    let committed: HashSet<TxId> = tail
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::Commit { txid } => Some(*txid),
+            _ => None,
+        })
+        .collect();
+
+    let mut stats = RecoveryStats {
+        records_scanned: tail.len(),
+        txns_redone: committed.len(),
+        ..Default::default()
+    };
+    let mut redone: HashSet<PageId> = HashSet::new();
+
+    let page_size = db.page_size();
+    let mut page_buf = vec![0u8; page_size];
+    for rec in tail {
+        if let LogRecord::PageWrite {
+            txid,
+            pid,
+            offset,
+            data,
+        } = rec
+        {
+            if !committed.contains(txid) {
+                stats.writes_skipped += 1;
+                continue;
+            }
+            let off = *offset as usize;
+            assert!(
+                off + data.len() <= page_size,
+                "log record exceeds page bounds"
+            );
+            db.read(*pid, &mut page_buf);
+            page_buf[off..off + data.len()].copy_from_slice(data);
+            db.write(*pid, &page_buf);
+            stats.writes_applied += 1;
+            redone.insert(*pid);
+        }
+    }
+    RecoveryOutcome {
+        stats,
+        redone,
+        ssd_table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbopool_iosim::{MemStore, PageId};
+
+    fn encode(recs: &[LogRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for r in recs {
+            r.encode(&mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn redo_applies_committed_writes_in_order() {
+        let db = MemStore::new(4, 16);
+        let log = encode(&[
+            LogRecord::PageWrite {
+                txid: 1,
+                pid: PageId(0),
+                offset: 0,
+                data: vec![1; 4],
+            },
+            LogRecord::PageWrite {
+                txid: 1,
+                pid: PageId(0),
+                offset: 2,
+                data: vec![2; 4],
+            },
+            LogRecord::Commit { txid: 1 },
+        ]);
+        let out = recover(&log, &db);
+        assert_eq!(out.stats.writes_applied, 2);
+        assert_eq!(out.stats.txns_redone, 1);
+        assert!(out.redone.contains(&PageId(0)));
+        let mut buf = [0u8; 16];
+        db.read(PageId(0), &mut buf);
+        assert_eq!(&buf[..6], &[1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn uncommitted_writes_are_skipped() {
+        let db = MemStore::new(4, 16);
+        let log = encode(&[
+            LogRecord::PageWrite {
+                txid: 7,
+                pid: PageId(1),
+                offset: 0,
+                data: vec![9; 8],
+            },
+            // no Commit{7}
+        ]);
+        let out = recover(&log, &db);
+        assert_eq!(out.stats.writes_applied, 0);
+        assert_eq!(out.stats.writes_skipped, 1);
+        assert!(out.redone.is_empty());
+        let mut buf = [0u8; 16];
+        db.read(PageId(1), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn replay_starts_after_last_checkpoint() {
+        let db = MemStore::new(4, 16);
+        let log = encode(&[
+            LogRecord::PageWrite {
+                txid: 1,
+                pid: PageId(0),
+                offset: 0,
+                data: vec![5; 4],
+            },
+            LogRecord::Commit { txid: 1 },
+            LogRecord::Checkpoint,
+            LogRecord::PageWrite {
+                txid: 2,
+                pid: PageId(2),
+                offset: 0,
+                data: vec![6; 4],
+            },
+            LogRecord::Commit { txid: 2 },
+        ]);
+        let out = recover(&log, &db);
+        // Pre-checkpoint write is NOT replayed (it is on disk by contract).
+        assert_eq!(out.stats.writes_applied, 1);
+        let mut buf = [0u8; 16];
+        db.read(PageId(0), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        db.read(PageId(2), &mut buf);
+        assert_eq!(&buf[..4], &[6; 4]);
+    }
+
+    #[test]
+    fn commit_after_writes_of_other_txns_interleaved() {
+        let db = MemStore::new(4, 8);
+        let log = encode(&[
+            LogRecord::PageWrite {
+                txid: 1,
+                pid: PageId(0),
+                offset: 0,
+                data: vec![1; 2],
+            },
+            LogRecord::PageWrite {
+                txid: 2,
+                pid: PageId(0),
+                offset: 0,
+                data: vec![2; 2],
+            },
+            LogRecord::Commit { txid: 2 },
+            LogRecord::Commit { txid: 1 },
+        ]);
+        recover(&log, &db);
+        // Log order decides: txn 2's write happened after txn 1's.
+        let mut buf = [0u8; 8];
+        db.read(PageId(0), &mut buf);
+        assert_eq!(&buf[..2], &[2, 2]);
+    }
+
+    #[test]
+    fn empty_log_is_a_noop() {
+        let db = MemStore::new(1, 8);
+        let out = recover(&[], &db);
+        assert_eq!(out.stats, RecoveryStats::default());
+        assert!(out.redone.is_empty());
+        assert!(out.ssd_table.is_none());
+    }
+
+    #[test]
+    fn ssd_table_attached_to_last_checkpoint_is_returned() {
+        let db = MemStore::new(4, 8);
+        let log = encode(&[
+            LogRecord::SsdTable {
+                entries: vec![(1, 10)],
+            }, // stale (older ckpt)
+            LogRecord::Checkpoint,
+            LogRecord::SsdTable {
+                entries: vec![(2, 20), (3, 21)],
+            },
+            LogRecord::Checkpoint,
+            LogRecord::Commit { txid: 9 },
+        ]);
+        let out = recover(&log, &db);
+        assert_eq!(out.ssd_table, Some(vec![(PageId(2), 20), (PageId(3), 21)]));
+    }
+
+    #[test]
+    fn ssd_table_must_be_adjacent_to_its_checkpoint() {
+        let db = MemStore::new(4, 8);
+        // A table followed by unrelated records then a checkpoint: still
+        // found (it belongs to the pre-checkpoint flush)...
+        let log = encode(&[
+            LogRecord::SsdTable {
+                entries: vec![(5, 50)],
+            },
+            LogRecord::Checkpoint,
+        ]);
+        let out = recover(&log, &db);
+        assert_eq!(out.ssd_table, Some(vec![(PageId(5), 50)]));
+    }
+}

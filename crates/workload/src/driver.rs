@@ -1,0 +1,352 @@
+//! The discrete-event driver: deterministic multiplexing of logical
+//! clients over virtual time.
+//!
+//! Each client owns a virtual clock; the driver always runs the client
+//! with the smallest clock, so device queueing and cross-client
+//! interference play out exactly as they would with truly concurrent
+//! streams — deterministically. One `step` is one atomic unit of work
+//! (one transaction, one query, one cleaner batch, one checkpoint).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use turbopool_core::cleaner::{CleanerStep, LazyCleaner};
+use turbopool_engine::Database;
+use turbopool_iosim::{clock, Clk, Time};
+
+/// Outcome of one client step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Reschedule the client at its new clock.
+    Continue,
+    /// The client is finished; remove it.
+    Done,
+}
+
+/// A logical client of the simulation.
+pub trait Client: Send {
+    /// Run one unit of work, advancing `clk` through any synchronous waits.
+    fn step(&mut self, clk: &mut Clk) -> StepResult;
+}
+
+struct Slot {
+    clk: Clk,
+    client: Box<dyn Client>,
+}
+
+/// Earliest-clock-first scheduler.
+#[derive(Default)]
+pub struct Driver {
+    slots: Vec<Slot>,
+    queue: BinaryHeap<Reverse<(Time, usize)>>,
+}
+
+impl Driver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a client whose clock starts at `start`.
+    pub fn add(&mut self, start: Time, client: Box<dyn Client>) -> usize {
+        let id = self.slots.len();
+        self.slots.push(Slot {
+            clk: Clk::at(start),
+            client,
+        });
+        self.queue.push(Reverse((start, id)));
+        id
+    }
+
+    /// Run until every runnable client's clock reaches `end` (or every
+    /// client is done). Steps that begin before `end` run to completion
+    /// and may overshoot it, like real in-flight work at a deadline.
+    pub fn run_until(&mut self, end: Time) {
+        while let Some(&Reverse((t, id))) = self.queue.peek() {
+            if t >= end {
+                break;
+            }
+            self.queue.pop();
+            let slot = &mut self.slots[id];
+            debug_assert_eq!(slot.clk.now, t);
+            match slot.client.step(&mut slot.clk) {
+                StepResult::Continue => {
+                    // Guarantee progress even for zero-cost steps.
+                    if slot.clk.now <= t {
+                        slot.clk.now = t + 1;
+                    }
+                    self.queue.push(Reverse((slot.clk.now, id)));
+                }
+                StepResult::Done => {}
+            }
+        }
+    }
+
+    /// Run until no runnable clients remain.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(Time::MAX);
+    }
+
+    /// Number of clients still scheduled.
+    pub fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Time-bucketed event counter: the tpmC / tpsE series of Figures 6, 7
+/// and 9.
+pub struct ThroughputRecorder {
+    bucket_ns: Time,
+    counts: Mutex<Vec<u64>>,
+    total: AtomicU64,
+}
+
+impl ThroughputRecorder {
+    /// The paper plots six-minute buckets.
+    pub fn new(bucket_ns: Time) -> Arc<Self> {
+        assert!(bucket_ns > 0);
+        Arc::new(ThroughputRecorder {
+            bucket_ns,
+            counts: Mutex::new(Vec::new()),
+            total: AtomicU64::new(0),
+        })
+    }
+
+    /// Record one completed unit (e.g. one NewOrder commit) at `now`.
+    pub fn record(&self, now: Time) {
+        let idx = (now / self.bucket_ns) as usize;
+        let mut c = self.counts.lock();
+        if c.len() <= idx {
+            c.resize(idx + 1, 0);
+        }
+        c[idx] += 1;
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Events with `t0 <= time < t1`, pro-rating partial buckets.
+    pub fn count_between(&self, t0: Time, t1: Time) -> f64 {
+        let c = self.counts.lock();
+        let mut sum = 0.0;
+        for (i, &n) in c.iter().enumerate() {
+            let b0 = i as Time * self.bucket_ns;
+            let b1 = b0 + self.bucket_ns;
+            let lo = b0.max(t0);
+            let hi = b1.min(t1);
+            if hi > lo {
+                sum += n as f64 * (hi - lo) as f64 / self.bucket_ns as f64;
+            }
+        }
+        sum
+    }
+
+    /// Average event rate per `per` nanoseconds over `[t0, t1)` — e.g.
+    /// `per = MINUTE` yields tpmC.
+    pub fn rate_between(&self, t0: Time, t1: Time, per: Time) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        self.count_between(t0, t1) * per as f64 / (t1 - t0) as f64
+    }
+
+    /// The series as `(bucket_start_hours, events_per_minute)` pairs.
+    pub fn series_per_minute(&self) -> Vec<(f64, f64)> {
+        let c = self.counts.lock();
+        c.iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let start = i as Time * self.bucket_ns;
+                let per_min = n as f64 * clock::MINUTE as f64 / self.bucket_ns as f64;
+                (clock::as_hours(start), per_min)
+            })
+            .collect()
+    }
+}
+
+/// Pseudo-client that takes a sharp checkpoint every `interval`.
+pub struct CheckpointClient {
+    db: Arc<Database>,
+    interval: Time,
+    next: Time,
+}
+
+impl CheckpointClient {
+    pub fn new(db: Arc<Database>, interval: Time) -> Self {
+        assert!(interval > 0);
+        CheckpointClient {
+            db,
+            interval,
+            next: interval,
+        }
+    }
+}
+
+impl Client for CheckpointClient {
+    fn step(&mut self, clk: &mut Clk) -> StepResult {
+        clk.wait_until(self.next);
+        self.db.checkpoint(clk);
+        self.next = clk.now + self.interval;
+        StepResult::Continue
+    }
+}
+
+/// Pseudo-client wrapping the LC lazy-cleaning thread.
+pub struct CleanerClient {
+    cleaner: LazyCleaner,
+}
+
+impl CleanerClient {
+    pub fn new(cleaner: LazyCleaner) -> Self {
+        CleanerClient { cleaner }
+    }
+
+    /// Convenience: attach a cleaner to `db` if it runs the LC design.
+    pub fn for_db(db: &Database) -> Option<Self> {
+        let mgr = db.ssd_manager()?;
+        if mgr.config().design == turbopool_core::SsdDesign::LazyCleaning {
+            Some(CleanerClient::new(LazyCleaner::new(Arc::clone(mgr))))
+        } else {
+            None
+        }
+    }
+}
+
+impl Client for CleanerClient {
+    fn step(&mut self, clk: &mut Clk) -> StepResult {
+        match self.cleaner.step(clk) {
+            CleanerStep::Idle => {
+                clk.elapse(self.cleaner.poll_interval());
+                StepResult::Continue
+            }
+            CleanerStep::Cleaned(_) => StepResult::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbopool_iosim::{MILLISECOND, MINUTE, SECOND};
+
+    struct Ticker {
+        period: Time,
+        fired: Arc<ThroughputRecorder>,
+        remaining: usize,
+    }
+
+    impl Client for Ticker {
+        fn step(&mut self, clk: &mut Clk) -> StepResult {
+            if self.remaining == 0 {
+                return StepResult::Done;
+            }
+            clk.elapse(self.period);
+            self.fired.record(clk.now);
+            self.remaining -= 1;
+            StepResult::Continue
+        }
+    }
+
+    #[test]
+    fn earliest_clock_first_interleaves_fairly() {
+        let rec = ThroughputRecorder::new(SECOND);
+        let mut d = Driver::new();
+        d.add(
+            0,
+            Box::new(Ticker {
+                period: 10 * MILLISECOND,
+                fired: Arc::clone(&rec),
+                remaining: 100,
+            }),
+        );
+        d.add(
+            0,
+            Box::new(Ticker {
+                period: 30 * MILLISECOND,
+                fired: Arc::clone(&rec),
+                remaining: 100,
+            }),
+        );
+        d.run_until(600 * MILLISECOND);
+        // Fast ticker: ~60 events; slow: ~20. Both progressed to ~600ms.
+        let total = rec.total();
+        assert!((75..=85).contains(&(total as i64)), "total {total}");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let rec = ThroughputRecorder::new(SECOND);
+        let mut d = Driver::new();
+        d.add(
+            0,
+            Box::new(Ticker {
+                period: SECOND,
+                fired: Arc::clone(&rec),
+                remaining: 1_000_000,
+            }),
+        );
+        d.run_until(10 * SECOND);
+        assert_eq!(rec.total(), 10);
+        assert_eq!(d.runnable(), 1, "client still scheduled for later");
+        d.run_until(20 * SECOND);
+        assert_eq!(rec.total(), 20);
+    }
+
+    #[test]
+    fn done_clients_are_removed() {
+        let rec = ThroughputRecorder::new(SECOND);
+        let mut d = Driver::new();
+        d.add(
+            0,
+            Box::new(Ticker {
+                period: SECOND,
+                fired: rec,
+                remaining: 3,
+            }),
+        );
+        d.run_to_completion();
+        assert_eq!(d.runnable(), 0);
+    }
+
+    #[test]
+    fn zero_cost_steps_still_make_progress() {
+        struct Lazy(usize);
+        impl Client for Lazy {
+            fn step(&mut self, _clk: &mut Clk) -> StepResult {
+                self.0 -= 1;
+                if self.0 == 0 {
+                    StepResult::Done
+                } else {
+                    StepResult::Continue
+                }
+            }
+        }
+        let mut d = Driver::new();
+        d.add(0, Box::new(Lazy(1000)));
+        d.run_until(SECOND); // must terminate
+        assert_eq!(d.runnable(), 0);
+    }
+
+    #[test]
+    fn recorder_rates_and_series() {
+        let rec = ThroughputRecorder::new(MINUTE);
+        for i in 0..60 {
+            rec.record(i * SECOND); // 60 events in minute 0
+        }
+        for i in 0..30 {
+            rec.record(MINUTE + i * 2 * SECOND); // 30 events in minute 1
+        }
+        assert_eq!(rec.total(), 90);
+        assert!((rec.count_between(0, MINUTE) - 60.0).abs() < 1e-9);
+        assert!((rec.rate_between(0, 2 * MINUTE, MINUTE) - 45.0).abs() < 1e-9);
+        let series = rec.series_per_minute();
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 60.0).abs() < 1e-9);
+        assert!((series[1].1 - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Random distributions used by the workload generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// TPC-C's non-uniform random function NURand(A, x, y):
+/// `(((rand(0,A) | rand(x,y)) + C) % (y - x + 1)) + x`.
+///
+/// The bitwise OR concentrates the distribution on a hot subset — this is
+/// the skew behind the paper's observation that 75% of TPC-C accesses go
+/// to about 20% of the pages.
+pub fn nurand(rng: &mut SmallRng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    debug_assert!(x <= y);
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// A Zipf(θ) sampler over `0..n` using the precomputed-CDF method.
+/// θ = 0 degenerates to uniform; θ ≈ 0.99 is the YCSB-style hot-spot
+/// distribution.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+            cdf.push(sum);
+        }
+        for v in &mut cdf {
+            *v /= sum;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0 is the hottest).
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Deterministic per-run RNG seeding: one base seed, one stream per
+/// client, so adding clients does not perturb existing streams.
+pub fn client_rng(base_seed: u64, client: u64) -> SmallRng {
+    use rand::SeedableRng;
+    SmallRng::seed_from_u64(base_seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = client_rng(1, 0);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, 42, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // The bitwise OR concentrates mass on ids with many set low bits:
+        // the hottest 10% of ids should draw far more than 10% of samples.
+        let mut rng = client_rng(7, 1);
+        let n = 1024u64;
+        let total = 100_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..total {
+            let v = nurand(&mut rng, 1023, 7, 0, n - 1);
+            counts[v as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let head: u64 = counts[..(n as usize / 10)].iter().sum();
+        let frac = head as f64 / total as f64;
+        assert!(frac > 0.4, "hot 10% drew only {frac:.2} of samples");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = client_rng(3, 0);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.5, "min {min} max {max}");
+    }
+
+    #[test]
+    fn zipf_high_theta_concentrates() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = client_rng(3, 1);
+        let mut head = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Top 10% of ranks should draw the majority of samples.
+        assert!(head as f64 / total as f64 > 0.5, "head {head}");
+    }
+
+    #[test]
+    fn client_rngs_are_independent_and_deterministic() {
+        let mut a1 = client_rng(9, 0);
+        let mut a2 = client_rng(9, 0);
+        let mut b = client_rng(9, 1);
+        let xs: Vec<u64> = (0..5).map(|_| a1.gen()).collect();
+        let ys: Vec<u64> = (0..5).map(|_| a2.gen()).collect();
+        let zs: Vec<u64> = (0..5).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

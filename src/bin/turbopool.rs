@@ -1,0 +1,190 @@
+//! `turbopool` — command-line driver for the reproduction.
+//!
+//! ```text
+//! turbopool tpcc  [--design lc|dw|cw|tac|nossd] [--warehouses 20] [--hours 10] [--lambda 0.5]
+//! turbopool tpce  [--design ...] [--customers 2000] [--hours 10]
+//! turbopool tpch  [--design ...] [--sf 30] [--streams 4]
+//! turbopool devices
+//! ```
+//!
+//! Runs one experiment and prints the metric plus the cache counters.
+
+use std::sync::Arc;
+
+use turbopool::iosim::{Clk, HOUR, MINUTE, SECOND};
+use turbopool::workload::driver::{CheckpointClient, CleanerClient, Driver, ThroughputRecorder};
+use turbopool::workload::scenario::Design;
+use turbopool::workload::{tpcc::Tpcc, tpce::Tpce, tpch};
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flag(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn design(&self) -> Design {
+        match self.flag("--design").unwrap_or("lc") {
+            "cw" => Design::Cw,
+            "dw" => Design::Dw,
+            "tac" => Design::Tac,
+            "nossd" | "none" => Design::NoSsd,
+            _ => Design::Lc,
+        }
+    }
+}
+
+fn print_counters(db: &turbopool::engine::Database) {
+    let pool = db.pool_stats();
+    println!("\n-- counters --");
+    println!("pool hit rate        : {:.2}%", pool.hit_rate() * 100.0);
+    if let Some(m) = db.ssd_metrics() {
+        println!("ssd hit rate         : {:.2}%", m.hit_rate() * 100.0);
+        println!("ssd hits / misses    : {} / {}", m.ssd_hits, m.ssd_misses);
+        println!(
+            "dirty-hit fraction   : {:.2}%",
+            m.dirty_hit_fraction() * 100.0
+        );
+        println!("admissions           : {}", m.admissions);
+        println!("invalidations        : {}", m.invalidations);
+        println!("cleaned pages        : {}", m.cleaned_pages);
+        println!("checkpoint-cleaned   : {}", m.checkpoint_cleaned);
+    }
+    let d = db.io().disk_stats();
+    let s = db.io().ssd_stats();
+    println!("disk ops (r/w)       : {} / {}", d.read_ops, d.write_ops);
+    println!("ssd  ops (r/w)       : {} / {}", s.read_ops, s.write_ops);
+}
+
+fn run_tpcc(args: &Args) {
+    let design = args.design();
+    let warehouses: u64 = args.num("--warehouses", 20);
+    let hours: u64 = args.num("--hours", 10);
+    let lambda: f64 = args.num("--lambda", 0.5);
+    println!(
+        "TPC-C-lite: {warehouses} scaled warehouses, {} for {hours} virtual hours, lambda {lambda}",
+        design.label()
+    );
+
+    let t = Arc::new(Tpcc::setup(design, warehouses, lambda));
+    let tpmc = ThroughputRecorder::new(6 * MINUTE);
+    let mut d = Driver::new();
+    for c in 0..25 {
+        d.add(0, Box::new(t.client(c, Arc::clone(&tpmc))));
+    }
+    if let Some(cleaner) = CleanerClient::for_db(&t.db) {
+        d.add(0, Box::new(cleaner));
+    }
+    let dur = hours * HOUR;
+    d.run_until(dur);
+    println!(
+        "tpmC (scaled, last hour): {:.2}   total NewOrders: {}",
+        tpmc.rate_between(dur.saturating_sub(HOUR), dur, MINUTE),
+        tpmc.total()
+    );
+    print_counters(&t.db);
+}
+
+fn run_tpce(args: &Args) {
+    let design = args.design();
+    let customers: u64 = args.num("--customers", 2_000);
+    let hours: u64 = args.num("--hours", 10);
+    println!(
+        "TPC-E-lite: {customers} scaled customers, {} for {hours} virtual hours",
+        design.label()
+    );
+
+    let t = Arc::new(Tpce::setup(design, customers, 0.01));
+    let tpse = ThroughputRecorder::new(6 * MINUTE);
+    let mut d = Driver::new();
+    for c in 0..25 {
+        d.add(0, Box::new(t.client(c, Arc::clone(&tpse))));
+    }
+    d.add(
+        0,
+        Box::new(CheckpointClient::new(Arc::clone(&t.db), 40 * MINUTE)),
+    );
+    if let Some(cleaner) = CleanerClient::for_db(&t.db) {
+        d.add(0, Box::new(cleaner));
+    }
+    let dur = hours * HOUR;
+    d.run_until(dur);
+    println!(
+        "tpsE (scaled, last hour): {:.4}   total TradeResults: {}",
+        tpse.rate_between(dur.saturating_sub(HOUR), dur, SECOND),
+        tpse.total()
+    );
+    print_counters(&t.db);
+}
+
+fn run_tpch(args: &Args) {
+    let design = args.design();
+    let sf: u64 = args.num("--sf", 30);
+    let streams: usize = args.num("--streams", 4);
+    println!(
+        "TPC-H-lite: SF {sf}, {} ({streams} throughput streams)",
+        design.label()
+    );
+
+    tpch::reset_finish_time();
+    let t = Arc::new(tpch::Tpch::setup(design, sf, 0.01));
+    let mut clk = Clk::new();
+    let p = t.power_test(&mut clk);
+    println!("\n-- power test --");
+    for (name, dur) in &p.timings {
+        println!("{name:>4}: {:8.1}s", *dur as f64 / SECOND as f64);
+    }
+    tpch::reset_finish_time();
+    let tput = t.throughput_test(streams);
+    println!("\nPower@{sf}SF      : {:.0}", p.power);
+    println!("Throughput@{sf}SF : {tput:.0}");
+    println!("QphH@{sf}SF       : {:.0}", tpch::qphh(p.power, tput));
+    print_counters(&t.db);
+}
+
+fn devices() {
+    use turbopool::iosim::{hdd_array_profile, log_disk_profile, ssd_profile};
+    println!("Device calibration (paper Table 1):");
+    for (name, p) in [
+        ("8-HDD striped group (aggregate)", hdd_array_profile()),
+        ("SLC SSD", ssd_profile()),
+        ("log disk", log_disk_profile()),
+    ] {
+        println!(
+            "  {name}: rand read {:.0} / seq read {:.0} / rand write {:.0} / seq write {:.0} IOPS",
+            1e9 / p.rand_read_ns as f64,
+            1e9 / p.seq_read_ns as f64,
+            1e9 / p.rand_write_ns as f64,
+            1e9 / p.seq_write_ns as f64,
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().cloned().unwrap_or_default();
+    let args = Args(argv);
+    match cmd.as_str() {
+        "tpcc" => run_tpcc(&args),
+        "tpce" => run_tpce(&args),
+        "tpch" => run_tpch(&args),
+        "devices" => devices(),
+        _ => {
+            eprintln!("usage: turbopool <tpcc|tpce|tpch|devices> [options]");
+            eprintln!("  tpcc  --design lc|dw|cw|tac|nossd --warehouses N --hours H --lambda F");
+            eprintln!("  tpce  --design ... --customers N --hours H");
+            eprintln!("  tpch  --design ... --sf N --streams S");
+            std::process::exit(2);
+        }
+    }
+}

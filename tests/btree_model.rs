@@ -1,0 +1,108 @@
+//! Property test: the B+-tree against a `BTreeMap` model.
+//!
+//! Random interleavings of insert/upsert/delete/get/range, executed both
+//! against the paged B+-tree (through real transactions, with evictions
+//! forced by a tiny pool and an SSD cache in the loop) and a standard
+//! `BTreeMap`. Results must agree exactly, including range-scan order.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use turbopool::core::{SsdConfig, SsdDesign};
+use turbopool::engine::{Database, DbConfig};
+use turbopool::iosim::Clk;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u16),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u16),
+    Commit,
+    Abort,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => (any::<u16>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            2 => any::<u16>().prop_map(Op::Delete),
+            3 => any::<u16>().prop_map(Op::Get),
+            2 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a, b)),
+            1 => Just(Op::Commit),
+            1 => Just(Op::Abort),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn btree_matches_btreemap(ops in ops()) {
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.db_pages = 4096;
+        cfg.mem_frames = 8; // force splits + evictions through the cache
+        cfg.ssd = Some(SsdConfig::new(SsdDesign::LazyCleaning, 64));
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let idx = db.create_index(&mut clk, "t", 3000);
+
+        let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut pending = committed.clone();
+        let mut txn = db.begin(&mut clk);
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    txn.index_insert(idx, k as u64, v as u64);
+                    pending.insert(k as u64, v as u64);
+                }
+                Op::Delete(k) => {
+                    let got = txn.index_delete(idx, k as u64);
+                    let want = pending.remove(&(k as u64)).is_some();
+                    prop_assert_eq!(got, want, "delete {}", k);
+                }
+                Op::Get(k) => {
+                    let got = txn.index_get(idx, k as u64);
+                    prop_assert_eq!(got, pending.get(&(k as u64)).copied(), "get {}", k);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                    let got = txn.index_range(idx, lo, hi, 10_000);
+                    let want: Vec<(u64, u64)> =
+                        pending.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, want, "range {}..={}", lo, hi);
+                }
+                Op::Commit => {
+                    txn.commit();
+                    committed = pending.clone();
+                    txn = db.begin(&mut clk);
+                }
+                Op::Abort => {
+                    txn.abort();
+                    pending = committed.clone();
+                    txn = db.begin(&mut clk);
+                }
+            }
+        }
+        txn.commit();
+        let committed = pending;
+
+        // Fresh transaction sees exactly the committed state.
+        let mut txn = db.begin(&mut clk);
+        let all = txn.index_range(idx, 0, u64::MAX, usize::MAX);
+        let want: Vec<(u64, u64)> = committed.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(all, want);
+        txn.commit();
+
+        // And so does a recovered database after a crash.
+        let (db2, _) = Database::recover(db.crash());
+        let mut clk = Clk::new();
+        let mut txn = db2.begin(&mut clk);
+        let all = txn.index_range(idx, 0, u64::MAX, usize::MAX);
+        let want: Vec<(u64, u64)> = committed.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(all, want, "post-recovery divergence");
+        txn.commit();
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based crash torture: random operations with random crash
+//! points, verified against an in-memory model.
+//!
+//! The model mirrors only *committed* state; after every simulated crash
+//! and recovery the real database must agree with it exactly — across all
+//! SSD designs and with checkpoints sprinkled in.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use turbopool::core::{SsdConfig, SsdDesign};
+use turbopool::engine::{Database, DbConfig};
+use turbopool::iosim::Clk;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Update { target: u16, val: u8 },
+    Delete { target: u16 },
+    AbortedInsert,
+    Checkpoint,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => any::<u8>().prop_map(Op::Insert),
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(target, val)| Op::Update { target, val }),
+        1 => any::<u16>().prop_map(|target| Op::Delete { target }),
+        1 => Just(Op::AbortedInsert),
+        1 => Just(Op::Checkpoint),
+        2 => Just(Op::Crash),
+    ]
+}
+
+fn design_strategy() -> impl Strategy<Value = Option<SsdDesign>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(SsdDesign::CleanWrite)),
+        Just(Some(SsdDesign::DualWrite)),
+        Just(Some(SsdDesign::LazyCleaning)),
+        Just(Some(SsdDesign::Tac)),
+    ]
+}
+
+fn build(design: Option<SsdDesign>) -> Database {
+    let mut cfg = DbConfig::small_for_tests();
+    cfg.db_pages = 1024;
+    cfg.mem_frames = 12;
+    cfg.ssd = design.map(|d| {
+        let mut s = SsdConfig::new(d, 48);
+        s.partitions = 2;
+        s.lambda = 0.7;
+        s
+    });
+    Database::open(cfg)
+}
+
+fn verify(db: &Database, h: usize, idx: usize, model: &BTreeMap<u64, (u8, u8)>) {
+    let mut clk = Clk::new();
+    let mut txn = db.begin(&mut clk);
+    for (&rid, &(a, b)) in model {
+        let rec = txn
+            .heap_get(h, rid)
+            .unwrap_or_else(|| panic!("rid {rid} lost"));
+        assert_eq!((rec[0], rec[1]), (a, b), "rid {rid} content");
+        assert_eq!(txn.index_get(idx, rid * 2 + 1), Some(rid), "index of {rid}");
+    }
+    txn.commit();
+    // And nothing extra: scan count matches the model (holes excluded).
+    let mut count = 0usize;
+    db.scan_heap(&mut clk, h, |rid, _| {
+        assert!(model.contains_key(&rid), "phantom rid {rid} after recovery");
+        count += 1;
+    });
+    assert_eq!(count, model.len(), "record count mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn committed_state_survives_random_crashes(
+        design in design_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 10..120),
+    ) {
+        let mut db = build(design);
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "data", 32, 384);
+        let idx = db.create_index(&mut clk, "pk", 256);
+        // Model: rid -> (byte0, byte1) of committed records.
+        let mut model: BTreeMap<u64, (u8, u8)> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let mut txn = db.begin(&mut clk);
+                    let mut rec = [0u8; 32];
+                    rec[0] = v;
+                    if let Ok(rid) = txn.heap_insert(h, &rec) {
+                        txn.index_insert(idx, rid * 2 + 1, rid);
+                        txn.commit();
+                        model.insert(rid, (v, 0));
+                    }
+                }
+                Op::Update { target, val } => {
+                    if model.is_empty() { continue; }
+                    let keys: Vec<u64> = model.keys().copied().collect();
+                    let rid = keys[target as usize % keys.len()];
+                    let mut txn = db.begin(&mut clk);
+                    let mut rec = txn.heap_get(h, rid).expect("model rid exists");
+                    rec[1] = val;
+                    txn.heap_update(h, rid, &rec);
+                    txn.commit();
+                    model.get_mut(&rid).unwrap().1 = val;
+                }
+                Op::Delete { target } => {
+                    if model.is_empty() { continue; }
+                    let keys: Vec<u64> = model.keys().copied().collect();
+                    let rid = keys[target as usize % keys.len()];
+                    let mut txn = db.begin(&mut clk);
+                    txn.heap_delete(h, rid);
+                    txn.index_delete(idx, rid * 2 + 1);
+                    txn.commit();
+                    model.remove(&rid);
+                }
+                Op::AbortedInsert => {
+                    let mut txn = db.begin(&mut clk);
+                    let _ = txn.heap_insert(h, &[0xFF; 32]);
+                    txn.abort();
+                }
+                Op::Checkpoint => {
+                    db.checkpoint(&mut clk);
+                }
+                Op::Crash => {
+                    let (db2, _) = Database::recover(db.crash());
+                    db = db2;
+                    clk = Clk::new();
+                    verify(&db, h, idx, &model);
+                }
+            }
+        }
+        // Final crash + verification regardless of the op tail.
+        let (db2, _) = Database::recover(db.crash());
+        verify(&db2, h, idx, &model);
+    }
+}
