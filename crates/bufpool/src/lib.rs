@@ -10,6 +10,8 @@
 //! disk manager (Figure 1 of the paper). The [`DirectIo`] implementation
 //! bypasses the SSD entirely and is the paper's `noSSD` baseline.
 
+#![forbid(unsafe_code)]
+
 pub mod lru2;
 pub mod pool;
 pub mod readahead;

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use turbopool_iosim::sync::{Mutex, RwLock};
 use turbopool_iosim::{Clk, Locality, PageBuf, PageId, Time};
 
 use crate::lru2::{KDist, Lru2};
@@ -323,13 +323,23 @@ impl BufferPool {
         }
         let pages = self.layer.read_run(clk, first, n);
         let mut inner = self.inner.lock();
+        // Pages of this run evicted *while installing it*: their entries in
+        // `pages` were snapshotted before the eviction wrote newer bytes
+        // below, so installing them would resurrect stale data. They are
+        // skipped here and re-read (fresh) if the scan reaches them.
+        let mut stale: Vec<bool> = vec![false; n as usize];
         for (i, page) in pages.into_iter().enumerate() {
             let pid = first.offset(i as u64);
-            if inner.map.contains_key(&pid) {
+            if inner.map.contains_key(&pid) || stale[i] {
                 continue;
             }
             let assigned = inner.classifier.classify_prefetch(pid);
-            let slot = self.vacate_slot(&mut inner, clk.now);
+            let (slot, victim) = self.vacate_slot_noting_victim(&mut inner, clk.now);
+            if let Some(v) = victim {
+                if v.0 >= first.0 && v.0 < first.0 + n {
+                    stale[(v.0 - first.0) as usize] = true;
+                }
+            }
             inner.meta[slot] = FrameMeta {
                 pid: Some(pid),
                 dirty: false,
@@ -355,12 +365,20 @@ impl BufferPool {
     /// Obtain a free slot, evicting the LRU-2 victim if necessary. The
     /// evicted page is handed to the storage layer (write-behind).
     fn vacate_slot(&self, inner: &mut Inner, now: Time) -> usize {
+        self.vacate_slot_noting_victim(inner, now).0
+    }
+
+    /// Like [`Self::vacate_slot`], but also reports which page (if any) was
+    /// evicted to free the slot. `prefetch_run` needs this to detect run
+    /// pages evicted mid-install, whose pre-read snapshots are stale.
+    fn vacate_slot_noting_victim(&self, inner: &mut Inner, now: Time) -> (usize, Option<PageId>) {
         if let Some(slot) = inner.free.pop() {
-            return slot;
+            return (slot, None);
         }
         inner.filled_once = true;
         let slot = inner.select_victim();
         let m = inner.meta[slot];
+        // lint: allow(panic) — select_victim only returns slots that hold a page once the pool has filled.
         let victim = m.pid.expect("victim has a page");
         inner.map.remove(&victim);
         let (prev, last) = inner.lru.kdist(slot);
@@ -379,7 +397,7 @@ impl BufferPool {
             .evict_page(now, victim, data.as_slice(), m.dirty, m.class);
         drop(data);
         inner.meta[slot] = FrameMeta::empty();
-        slot
+        (slot, Some(victim))
     }
 
     /// Sharp checkpoint of the memory pool: write every dirty page below
@@ -617,6 +635,34 @@ mod tests {
         let before = p.stats().misses;
         p.get(&mut clk, PageId(2), Locality::Sequential);
         assert_eq!(p.stats().misses, before, "prefetched page is a hit");
+    }
+
+    #[test]
+    fn prefetch_never_resurrects_page_evicted_mid_install() {
+        // Regression: read_run snapshots the whole run up front; installing
+        // its early pages can evict a *dirty* resident page that lies later
+        // in the same run. The eviction writes fresh bytes to disk, so the
+        // pre-read snapshot of that page is stale and must not be installed.
+        let (_io, p) = pool(4, 64);
+        let mut clk = Clk::new();
+        // Page 5 (inside the run below) is dirtied first, making it the
+        // LRU-2 victim; pages 8..11 (outside the run) fill the remaining
+        // frames so the stale install would stay resident afterwards.
+        {
+            let mut g = p.get(&mut clk, PageId(5), Locality::Random);
+            g.write(clk.now, |b| b[0] = 0xAB);
+        }
+        for pid in 8..11u64 {
+            let mut g = p.get(&mut clk, PageId(pid), Locality::Random);
+            g.write(clk.now, |b| b[0] = pid as u8);
+        }
+        assert_eq!(p.dirty_count(), 4);
+        // Installing page 4 evicts dirty page 5 (writing 0xAB to disk);
+        // page 5's slot in the run must then NOT be filled from the
+        // pre-eviction snapshot (zeroes).
+        p.prefetch_run(&mut clk, PageId(4), 4);
+        let g = p.get(&mut clk, PageId(5), Locality::Random);
+        g.read(|b| assert_eq!(b[0], 0xAB, "page 5 lost its committed write"));
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub fn classify(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use turbopool_iosim::rng::{Rng, SeedableRng, SmallRng};
 
     const LC: SsdDesign = SsdDesign::LazyCleaning;
     const DW: SsdDesign = SsdDesign::DualWrite;
@@ -154,35 +154,52 @@ mod tests {
         assert!(classify(DW, Some(1), Some(1), 1).is_ok());
     }
 
-    proptest! {
-        /// Every classified (non-error) state is one of the chart's cases,
-        /// and classification is total over version triples.
-        #[test]
-        fn classification_is_total_and_consistent(
-            mem in proptest::option::of(0u64..4),
-            ssd in proptest::option::of(0u64..4),
-            disk in 0u64..4,
-        ) {
+    /// Every classified (non-error) state is one of the chart's cases,
+    /// and classification is total over version triples. Exhaustive over
+    /// the version domain the old property test sampled, plus a seeded
+    /// random sweep over a wider domain.
+    #[test]
+    fn classification_is_total_and_consistent() {
+        let check = |mem: Option<u64>, ssd: Option<u64>, disk: u64| {
             match classify(LC, mem, ssd, disk) {
                 Ok(case) => {
                     // Reconstruct the defining predicate of each case.
-                    match case {
-                        CoherenceCase::DiskOnly => prop_assert!(mem.is_none() && ssd.is_none()),
-                        CoherenceCase::MemEqDisk => prop_assert_eq!(mem, Some(disk)),
-                        CoherenceCase::MemNewer => prop_assert!(mem.unwrap() > disk && ssd.is_none()),
-                        CoherenceCase::SsdEqDisk => prop_assert_eq!(ssd, Some(disk)),
-                        CoherenceCase::SsdNewer => prop_assert!(ssd.unwrap() > disk && mem.is_none()),
-                        CoherenceCase::AllEqual => prop_assert!(mem == Some(disk) && ssd == Some(disk)),
-                        CoherenceCase::MemSsdNewer => prop_assert!(mem == ssd && mem.unwrap() > disk),
-                    }
+                    let holds = match case {
+                        CoherenceCase::DiskOnly => mem.is_none() && ssd.is_none(),
+                        CoherenceCase::MemEqDisk => mem == Some(disk),
+                        CoherenceCase::MemNewer => mem > Some(disk) && ssd.is_none(),
+                        CoherenceCase::SsdEqDisk => ssd == Some(disk),
+                        CoherenceCase::SsdNewer => ssd > Some(disk) && mem.is_none(),
+                        CoherenceCase::AllEqual => mem == Some(disk) && ssd == Some(disk),
+                        CoherenceCase::MemSsdNewer => mem == ssd && mem > Some(disk),
+                    };
+                    assert!(holds, "case {case:?} wrong for {mem:?}/{ssd:?}/{disk}");
                 }
                 Err(v) => {
                     let stale = mem.map(|m| m < disk).unwrap_or(false)
                         || ssd.map(|s| s < disk).unwrap_or(false);
                     let mismatch = mem.is_some() && ssd.is_some() && mem != ssd;
-                    prop_assert!(stale || mismatch, "unexpected violation {:?}", v);
+                    assert!(stale || mismatch, "unexpected violation {v:?}");
                 }
             }
+        };
+        // Exhaustive over the 5 x 5 x 4 triple domain.
+        let opts = [None, Some(0u64), Some(1), Some(2), Some(3)];
+        for mem in opts {
+            for ssd in opts {
+                for disk in 0u64..4 {
+                    check(mem, ssd, disk);
+                }
+            }
+        }
+        // Seeded random sweep over a wider version domain.
+        let mut rng = SmallRng::seed_from_u64(0xF16_3);
+        for _ in 0..10_000 {
+            let draw = |rng: &mut SmallRng| -> Option<u64> {
+                rng.gen_bool(0.4).then(|| rng.gen_range(0u64..100))
+            };
+            let (mem, ssd) = (draw(&mut rng), draw(&mut rng));
+            check(mem, ssd, rng.gen_range(0u64..100));
         }
     }
 }

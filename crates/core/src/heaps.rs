@@ -89,6 +89,7 @@ impl DualHeap {
     }
 
     fn entry(&self, side: Side, i: usize) -> Entry {
+        // lint: allow(panic) — heap slot bookkeeping invariant; a miss here is a logic bug, fail fast.
         self.slots[self.slot(side, i)].expect("occupied heap slot")
     }
 
@@ -180,8 +181,10 @@ impl DualHeap {
     /// Change the key of `rec` in place (re-access updates its LRU-2
     /// distance).
     pub fn update(&mut self, rec: usize, key: Key) {
+        // lint: allow(panic) — pos[] and slots[] move in lockstep; an absent record is heap corruption.
         let (side, i) = self.pos[rec].expect("update of absent record");
         let s = self.slot(side, i);
+        // lint: allow(panic) — same slot was just resolved via pos[]; it is occupied.
         self.slots[s].as_mut().unwrap().key = key;
         self.sift_down(side, i);
         self.sift_up(side, i);
@@ -190,6 +193,7 @@ impl DualHeap {
     /// Move `rec` between heaps, keeping its key (a dirty page was cleaned,
     /// or a clean page re-admitted dirty).
     pub fn change_side(&mut self, rec: usize, to: Side) {
+        // lint: allow(panic) — pos[] and slots[] move in lockstep; an absent record is heap corruption.
         let (side, i) = self.pos[rec].expect("change_side of absent record");
         if side == to {
             return;
@@ -242,7 +246,7 @@ impl DualHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use turbopool_iosim::rng::{Rng, SeedableRng, SmallRng};
 
     #[test]
     fn min_pops_in_key_order() {
@@ -322,67 +326,94 @@ mod tests {
         assert_eq!(popped, vec![1, 2, 4, 5]);
     }
 
-    proptest! {
-        /// Model check: random insert/remove/update/pop against a sorted
-        /// reference model, validating structure at every step.
-        #[test]
-        fn behaves_like_model(ops in proptest::collection::vec((0u8..5, 0usize..16, 0u64..50), 1..200)) {
-            use std::collections::BTreeSet;
+    /// Model check: random insert/remove/update/pop against a sorted
+    /// reference model, validating structure at every step. 64 seeded
+    /// cases of up to 200 operations each.
+    #[test]
+    fn behaves_like_model() {
+        use std::collections::BTreeSet;
+        for case in 0u64..64 {
+            let mut rng = SmallRng::seed_from_u64(0xD0A1_4EA9 ^ case);
+            let n_ops = rng.gen_range(1usize..200);
             let cap = 16;
             let mut h = DualHeap::new(cap);
             // model[side] = set of (key, rec)
             let mut model: [BTreeSet<(Key, usize)>; 2] = [BTreeSet::new(), BTreeSet::new()];
-            let side_ix = |s: Side| match s { Side::Clean => 0, Side::Dirty => 1 };
+            let side_ix = |s: Side| match s {
+                Side::Clean => 0,
+                Side::Dirty => 1,
+            };
 
-            for (op, rec, k) in ops {
+            for _ in 0..n_ops {
+                let op = rng.gen_range(0u8..5);
+                let rec = rng.gen_range(0usize..16);
+                let k = rng.gen_range(0u64..50);
                 let key = (k, k.wrapping_mul(7) % 13);
                 let in_heap = h.side_of(rec);
                 match op {
-                    0 | 1 => { // insert into clean/dirty
+                    0 | 1 => {
+                        // insert into clean/dirty
                         let side = if op == 0 { Side::Clean } else { Side::Dirty };
                         if in_heap.is_none() && model[0].len() + model[1].len() < cap {
                             h.insert(side, key, rec);
                             model[side_ix(side)].insert((key, rec));
                         }
                     }
-                    2 => { // remove
+                    2 => {
+                        // remove
                         let removed = h.remove(rec);
                         if let Some(side) = removed {
-                            let found = model[side_ix(side)].iter().find(|(_, r)| *r == rec).copied();
-                            prop_assert!(found.is_some());
-                            model[side_ix(side)].remove(&found.unwrap());
+                            let found = model[side_ix(side)]
+                                .iter()
+                                .find(|(_, r)| *r == rec)
+                                .copied();
+                            let found = found.expect("model misses removed record");
+                            model[side_ix(side)].remove(&found);
                         } else {
-                            prop_assert!(in_heap.is_none());
+                            assert!(in_heap.is_none());
                         }
                     }
-                    3 => { // update key
+                    3 => {
+                        // update key
                         if let Some(side) = in_heap {
-                            let old = model[side_ix(side)].iter().find(|(_, r)| *r == rec).copied().unwrap();
+                            let old = model[side_ix(side)]
+                                .iter()
+                                .find(|(_, r)| *r == rec)
+                                .copied()
+                                .expect("model misses updated record");
                             model[side_ix(side)].remove(&old);
                             model[side_ix(side)].insert((key, rec));
                             h.update(rec, key);
                         }
                     }
-                    _ => { // pop min from a side chosen by parity of rec
-                        let side = if rec % 2 == 0 { Side::Clean } else { Side::Dirty };
+                    _ => {
+                        // pop min from a side chosen by parity of rec
+                        let side = if rec % 2 == 0 {
+                            Side::Clean
+                        } else {
+                            Side::Dirty
+                        };
                         let got = h.pop_min(side);
                         let want = model[side_ix(side)].iter().next().copied();
                         match (got, want) {
-                            (Some((gk, _)), Some((wk, _))) => {
-                                prop_assert_eq!(gk, wk, "pop returned non-minimum");
+                            (Some((gk, grec)), Some((wk, _))) => {
+                                assert_eq!(gk, wk, "pop returned non-minimum");
                                 // Remove the exact popped element from model.
-                                let (_, grec) = got.unwrap();
-                                let popped = model[side_ix(side)].iter().find(|(kk, rr)| *kk == gk && *rr == grec).copied().unwrap();
+                                let popped = model[side_ix(side)]
+                                    .iter()
+                                    .find(|(kk, rr)| *kk == gk && *rr == grec)
+                                    .copied()
+                                    .expect("popped element absent from model");
                                 model[side_ix(side)].remove(&popped);
                             }
                             (None, None) => {}
-                            _ => prop_assert!(false, "pop/model emptiness disagreement"),
+                            _ => panic!("pop/model emptiness disagreement"),
                         }
                     }
                 }
                 h.validate();
-                prop_assert_eq!(h.len(Side::Clean), model[0].len());
-                prop_assert_eq!(h.len(Side::Dirty), model[1].len());
+                assert_eq!(h.len(Side::Clean), model[0].len());
+                assert_eq!(h.len(Side::Dirty), model[1].len());
             }
         }
     }

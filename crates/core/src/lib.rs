@@ -25,6 +25,9 @@
 //! control (μ), multi-page I/O trimming, SSD partitioning (N), and group
 //! cleaning (α) with the λ dirty-fraction threshold.
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod cleaner;
 pub mod coherence;
 pub mod config;
@@ -34,6 +37,7 @@ pub mod metrics;
 pub mod partition;
 pub mod tac;
 
+pub use audit::{AuditOp, FrameState, InvariantAuditor};
 pub use cleaner::LazyCleaner;
 pub use coherence::{classify, CoherenceCase, CoherenceViolation};
 pub use config::{MultiPageMode, SsdConfig, SsdDesign};

@@ -11,10 +11,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
 use turbopool_bufpool::PageIo;
+use turbopool_iosim::sync::{Mutex, MutexGuard};
 use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
 
+use crate::audit::{AuditOp, InvariantAuditor};
 use crate::config::{MultiPageMode, SsdConfig, SsdDesign};
 use crate::metrics::SsdMetrics;
 use crate::partition::Partition;
@@ -36,6 +37,8 @@ pub struct SsdManager {
     pause_dirty_until: AtomicU64,
     /// Counters for the evaluation harnesses.
     pub metrics: SsdMetrics,
+    /// Shadow state machine validating every buffer-table transition.
+    auditor: InvariantAuditor,
 }
 
 impl SsdManager {
@@ -59,6 +62,7 @@ impl SsdManager {
             parts.push(Mutex::new(Partition::new(base, frames as usize)));
             base += frames;
         }
+        let auditor = InvariantAuditor::new(cfg.design);
         SsdManager {
             cfg,
             io,
@@ -68,6 +72,25 @@ impl SsdManager {
             dirty_total: AtomicU64::new(0),
             pause_dirty_until: AtomicU64::new(0),
             metrics: SsdMetrics::default(),
+            auditor,
+        }
+    }
+
+    /// Invariant violations caught so far (see [`InvariantAuditor`]).
+    pub fn audit_violations(&self) -> u64 {
+        self.auditor.violations()
+    }
+
+    /// Report a buffer-table transition to the auditor. Violations are
+    /// counted in the metrics and abort debug builds immediately.
+    fn audit(&self, pid: PageId, op: AuditOp) {
+        if let Err(e) = self.auditor.observe(pid, op) {
+            SsdMetrics::bump(&self.metrics.audit_violations);
+            if cfg!(debug_assertions) {
+                // lint: allow(panic) — the auditor's whole point: fail the
+                // test run at the first illegal state-machine transition.
+                panic!("SSD buffer-table invariant violated: {e} (pid {pid})");
+            }
         }
     }
 
@@ -144,9 +167,11 @@ impl SsdManager {
             return;
         }
         let stamp = self.next_stamp();
+        // lint: allow(panic) — guarded by the free-frame check above; the partition cannot be full here.
         let idx = part.insert(pid, dirty, stamp).expect("frame available");
         let frame = part.frame_no(idx);
         drop(part);
+        self.audit(pid, AuditOp::Admit { dirty });
         self.occupancy.fetch_add(1, Ordering::Relaxed);
         if dirty {
             self.dirty_total.fetch_add(1, Ordering::Relaxed);
@@ -163,7 +188,8 @@ impl SsdManager {
     /// is dirty (LC under extreme λ).
     fn reclaim_frame(&self, now: Time, part: &mut Partition) -> bool {
         if let Some((_, victim)) = part.peek_clean_victim() {
-            part.remove(victim);
+            let rec = part.remove(victim);
+            self.audit(rec.pid, AuditOp::Replace);
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             SsdMetrics::bump(&self.metrics.replacements);
             return true;
@@ -179,6 +205,7 @@ impl SsdManager {
             self.io
                 .write_disk_async(tmp.now, rec.pid, &buf, Locality::Random);
             part.remove(oldest);
+            self.audit(rec.pid, AuditOp::InlineClean);
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             self.dirty_total.fetch_sub(1, Ordering::Relaxed);
             SsdMetrics::bump(&self.metrics.inline_cleans);
@@ -232,6 +259,8 @@ impl SsdManager {
             }
             let stamp = self.next_stamp();
             if part.insert_at((frame - base) as usize, pid, stamp) {
+                drop(part);
+                self.audit(pid, AuditOp::WarmImport);
                 imported += 1;
                 self.occupancy.fetch_add(1, Ordering::Relaxed);
                 SsdMetrics::bump(&self.metrics.warm_imports);
@@ -296,10 +325,12 @@ impl SsdManager {
         for i in 0..count {
             let pid = lo.offset(i);
             let mut part = self.part(pid);
+            // lint: allow(panic) — pid was gathered under this partition's latch and nothing removes between.
             let idx = part.lookup(pid).expect("gathered page still cached");
             let frame = part.frame_no(idx);
             part.set_clean(idx);
             drop(part);
+            self.audit(pid, AuditOp::Clean);
             self.dirty_total.fetch_sub(1, Ordering::Relaxed);
             let mut buf = vec![0u8; self.io.page_size()];
             self.io.read_ssd(clk, frame, &mut buf);
@@ -533,6 +564,7 @@ impl PageIo for SsdManager {
                     self.install(now, pid, data, dirty);
                 }
             }
+            // lint: allow(panic) — DbConfig routes Tac to TacCache; an SsdManager is never built for it.
             SsdDesign::Tac => unreachable!("TAC uses TacCache"),
         }
     }
@@ -544,6 +576,7 @@ impl PageIo for SsdManager {
         if let Some(idx) = part.lookup(pid) {
             let rec = part.remove(idx);
             drop(part);
+            self.audit(pid, AuditOp::Invalidate);
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             if rec.dirty {
                 self.dirty_total.fetch_sub(1, Ordering::Relaxed);
@@ -597,10 +630,12 @@ impl PageIo for SsdManager {
             let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(j - i);
             for pid in &dirty_pids[i..j] {
                 let mut part = self.part(*pid);
+                // lint: allow(panic) — pid was gathered under this partition's latch and nothing removes between.
                 let idx = part.lookup(*pid).expect("dirty page still cached");
                 let frame = part.frame_no(idx);
                 part.set_clean(idx);
                 drop(part);
+                self.audit(*pid, AuditOp::Clean);
                 self.dirty_total.fetch_sub(1, Ordering::Relaxed);
                 let mut buf = vec![0u8; self.io.page_size()];
                 self.io.read_ssd(clk, frame, &mut buf);

@@ -39,6 +39,9 @@ pub struct SsdMetrics {
     pub dirty_hits: AtomicU64,
     /// Pages re-adopted from the SSD at restart (warm-restart extension).
     pub warm_imports: AtomicU64,
+    /// Buffer-table state-machine violations caught by the invariant
+    /// auditor (always 0 unless the state machine itself is broken).
+    pub audit_violations: AtomicU64,
 }
 
 /// Plain-value snapshot of [`SsdMetrics`].
@@ -60,6 +63,7 @@ pub struct SsdMetricsSnapshot {
     pub tac_cancelled_writes: u64,
     pub dirty_hits: u64,
     pub warm_imports: u64,
+    pub audit_violations: u64,
 }
 
 impl SsdMetrics {
@@ -81,6 +85,7 @@ impl SsdMetrics {
             tac_cancelled_writes: self.tac_cancelled_writes.load(Ordering::Relaxed),
             dirty_hits: self.dirty_hits.load(Ordering::Relaxed),
             warm_imports: self.warm_imports.load(Ordering::Relaxed),
+            audit_violations: self.audit_violations.load(Ordering::Relaxed),
         }
     }
 

@@ -94,12 +94,14 @@ impl Partition {
 
     /// The record at `idx` (must be occupied).
     pub fn record(&self, idx: usize) -> &Record {
+        // lint: allow(panic) — documented contract: idx comes from lookup/insert and is occupied.
         self.records[idx].as_ref().expect("occupied record")
     }
 
     /// Record an SSD access to `idx` at `stamp`, repositioning it in its
     /// heap.
     pub fn touch(&mut self, idx: usize, stamp: u64) {
+        // lint: allow(panic) — documented contract: idx comes from lookup/insert and is occupied.
         let r = self.records[idx].as_mut().expect("occupied record");
         r.prev = r.last;
         r.last = stamp;
@@ -155,6 +157,7 @@ impl Partition {
 
     /// Remove record `idx`, freeing its frame; returns the record.
     pub fn remove(&mut self, idx: usize) -> Record {
+        // lint: allow(panic) — documented contract: idx comes from lookup/insert and is occupied.
         let rec = self.records[idx].take().expect("occupied record");
         self.map.remove(&rec.pid);
         self.heap.remove(idx);
@@ -178,6 +181,7 @@ impl Partition {
     /// Mark a dirty record clean (the cleaner flushed it); it moves to the
     /// clean heap and becomes a replacement candidate.
     pub fn set_clean(&mut self, idx: usize) {
+        // lint: allow(panic) — documented contract: idx comes from lookup/insert and is occupied.
         let r = self.records[idx].as_mut().expect("occupied record");
         if r.dirty {
             r.dirty = false;
@@ -188,6 +192,7 @@ impl Partition {
 
     /// Mark a clean record dirty (a dirty eviction overwrote a clean copy).
     pub fn set_dirty(&mut self, idx: usize) {
+        // lint: allow(panic) — documented contract: idx comes from lookup/insert and is occupied.
         let r = self.records[idx].as_mut().expect("occupied record");
         if !r.dirty {
             r.dirty = true;

@@ -29,12 +29,13 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use std::sync::Arc;
+use turbopool_iosim::sync::Mutex;
 
 use turbopool_bufpool::PageIo;
 use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
 
+use crate::audit::{AuditOp, InvariantAuditor};
 use crate::config::SsdConfig;
 use crate::metrics::SsdMetrics;
 
@@ -66,6 +67,8 @@ pub struct TacCache {
     io: Arc<IoManager>,
     inner: Mutex<TacInner>,
     pub metrics: SsdMetrics,
+    /// Shadow state machine validating every buffer-table transition.
+    auditor: InvariantAuditor,
 }
 
 impl TacCache {
@@ -83,11 +86,30 @@ impl TacCache {
                 heap: std::collections::BinaryHeap::new(),
             }),
             metrics: SsdMetrics::default(),
+            auditor: InvariantAuditor::new(crate::SsdDesign::Tac),
         }
     }
 
     pub fn config(&self) -> &SsdConfig {
         &self.cfg
+    }
+
+    /// Invariant violations caught so far (see [`InvariantAuditor`]).
+    pub fn audit_violations(&self) -> u64 {
+        self.auditor.violations()
+    }
+
+    /// Report a buffer-table transition to the auditor. Violations are
+    /// counted in the metrics and abort debug builds immediately.
+    fn audit(&self, pid: PageId, op: AuditOp) {
+        if let Err(e) = self.auditor.observe(pid, op) {
+            SsdMetrics::bump(&self.metrics.audit_violations);
+            if cfg!(debug_assertions) {
+                // lint: allow(panic) — the auditor's whole point: fail the
+                // test run at the first illegal state-machine transition.
+                panic!("SSD buffer-table invariant violated: {e} (pid {pid})");
+            }
+        }
     }
 
     /// Occupied frames (valid + invalid).
@@ -105,6 +127,7 @@ impl TacCache {
     pub fn frame_of_valid(&self, pid: PageId) -> Option<u64> {
         let inner = self.inner.lock();
         inner.map.get(&pid).and_then(|&f| {
+            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
             let rec = inner.records[f].unwrap();
             rec.valid.then_some(f as u64)
         })
@@ -116,6 +139,7 @@ impl TacCache {
         inner
             .map
             .get(&pid)
+            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
             .map(|&f| inner.records[f].unwrap().valid)
             .unwrap_or(false)
     }
@@ -191,8 +215,10 @@ impl TacCache {
                         inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
                         Some(f)
                     } else {
+                        // lint: allow(panic) — cold_frame came off the temperature heap, which only holds mapped frames.
                         let old = inner.records[cold_frame].take().unwrap();
                         inner.map.remove(&old.pid);
+                        self.audit(old.pid, AuditOp::Replace);
                         SsdMetrics::bump(&self.metrics.replacements);
                         Some(cold_frame)
                     }
@@ -217,6 +243,7 @@ impl TacCache {
         inner.map.insert(pid, frame);
         let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
         inner.heap.push(std::cmp::Reverse((temp, frame)));
+        self.audit(pid, AuditOp::Admit { dirty: false });
         SsdMetrics::bump(&self.metrics.admissions);
         if filling {
             SsdMetrics::bump(&self.metrics.fill_admissions);
@@ -232,6 +259,7 @@ impl PageIo for TacCache {
             // served from.
             self.heat(&mut inner, pid, class);
             if let Some(&frame) = inner.map.get(&pid) {
+                // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
                 let rec = inner.records[frame].unwrap();
                 // The copy must be valid AND its installing write complete.
                 if rec.valid && clk.now >= rec.valid_at && !self.throttled(clk.now) {
@@ -268,6 +296,7 @@ impl PageIo for TacCache {
                 .map(|i| {
                     let pid = first.offset(i);
                     inner.map.get(&pid).and_then(|&f| {
+                        // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
                         let rec = inner.records[f].unwrap();
                         (rec.valid && now0 >= rec.valid_at && !throttled).then_some(f as u64)
                     })
@@ -304,6 +333,7 @@ impl PageIo for TacCache {
             }
         }
         for i in (0..lead).chain(n as usize - trail..n as usize) {
+            // lint: allow(panic) — lead/trail indices were counted as Some in the pass above.
             let frame = status[i].unwrap();
             let mut tmp = Clk::at(now0);
             self.io.read_ssd(&mut tmp, frame, out[i].as_mut_slice());
@@ -321,11 +351,17 @@ impl PageIo for TacCache {
         }
         // Write-through to disk, as in a traditional DBMS.
         self.io.write_disk_async(now, pid, data, Locality::Random);
-        // If an invalid version exists in the SSD, refresh it (flow iv).
+        // The disk copy just advanced, so ANY existing SSD version of this
+        // page is now stale and must be refreshed (flow iv) or dropped.
+        // The invalid case is the paper's flow; a *valid* record can also
+        // be stale here: a run-read admitted the disk version while this
+        // newer copy sat dirty in the memory pool (scan read-ahead does
+        // exactly that), and keeping it would serve lost updates.
         let mut inner = self.inner.lock();
         if let Some(&frame) = inner.map.get(&pid) {
+            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
             let rec = inner.records[frame].unwrap();
-            if !rec.valid && !self.throttled(now) {
+            if !self.throttled(now) {
                 let done = self.io.write_ssd_async(now, frame as u64, data, pid);
                 inner.records[frame] = Some(TacRec {
                     pid,
@@ -334,7 +370,19 @@ impl PageIo for TacCache {
                 });
                 let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
                 inner.heap.push(std::cmp::Reverse((temp, frame)));
-                SsdMetrics::bump(&self.metrics.admissions);
+                self.audit(pid, AuditOp::Refresh);
+                if !rec.valid {
+                    SsdMetrics::bump(&self.metrics.admissions);
+                }
+            } else if rec.valid {
+                // Cannot rewrite under throttle: invalidate so the stale
+                // version can never be read.
+                inner.records[frame] = Some(TacRec {
+                    valid: false,
+                    ..rec
+                });
+                self.audit(pid, AuditOp::LogicalInvalidate);
+                SsdMetrics::bump(&self.metrics.invalidations);
             }
         }
     }
@@ -342,6 +390,7 @@ impl PageIo for TacCache {
     fn note_dirtied(&self, now: Time, pid: PageId) {
         let mut inner = self.inner.lock();
         if let Some(&frame) = inner.map.get(&pid) {
+            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
             let rec = inner.records[frame].unwrap();
             if rec.valid {
                 if now < rec.valid_at {
@@ -351,6 +400,7 @@ impl PageIo for TacCache {
                     inner.records[frame] = None;
                     inner.map.remove(&pid);
                     inner.free.push(frame);
+                    self.audit(pid, AuditOp::Cancel);
                     SsdMetrics::bump(&self.metrics.tac_cancelled_writes);
                 } else {
                     // Logical invalidation: the frame stays occupied.
@@ -358,6 +408,7 @@ impl PageIo for TacCache {
                         valid: false,
                         ..rec
                     });
+                    self.audit(pid, AuditOp::LogicalInvalidate);
                     SsdMetrics::bump(&self.metrics.invalidations);
                 }
             }
@@ -366,11 +417,13 @@ impl PageIo for TacCache {
 
     fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) -> Time {
         let done = self.io.write_disk_async(now, pid, data, Locality::Random);
-        // Same invalid-version refresh as the eviction flow.
+        // Same stale-version refresh/invalidate as the eviction flow: the
+        // disk copy advances here, so no older SSD version may stay valid.
         let mut inner = self.inner.lock();
         if let Some(&frame) = inner.map.get(&pid) {
+            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
             let rec = inner.records[frame].unwrap();
-            if !rec.valid && !self.throttled(now) {
+            if !self.throttled(now) {
                 let wdone = self.io.write_ssd_async(now, frame as u64, data, pid);
                 inner.records[frame] = Some(TacRec {
                     pid,
@@ -379,6 +432,14 @@ impl PageIo for TacCache {
                 });
                 let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
                 inner.heap.push(std::cmp::Reverse((temp, frame)));
+                self.audit(pid, AuditOp::Refresh);
+            } else if rec.valid {
+                inner.records[frame] = Some(TacRec {
+                    valid: false,
+                    ..rec
+                });
+                self.audit(pid, AuditOp::LogicalInvalidate);
+                SsdMetrics::bump(&self.metrics.invalidations);
             }
         }
         done

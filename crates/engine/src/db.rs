@@ -4,9 +4,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use turbopool_bufpool::{BufferPool, BufferPoolConfig, DirectIo, PageIo, PoolStats, ScanCursor};
 use turbopool_core::{SsdDesign, SsdManager, TacCache};
+use turbopool_iosim::sync::Mutex;
 use turbopool_iosim::{Clk, IoManager, PageId, Time};
 use turbopool_wal::log::DurableLog;
 use turbopool_wal::{LogManager, RecoveryStats};

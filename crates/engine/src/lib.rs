@@ -14,6 +14,8 @@
 //! publishes them at commit after the log flush, which makes every dirty
 //! page committed-only and recovery pure redo.
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod config;
 pub mod db;

@@ -19,7 +19,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::clock::Time;
 use crate::stats::DeviceStats;

@@ -75,7 +75,7 @@ pub struct IoManager {
     /// at no extra I/O cost, and the basis of warm-restart validation.
     ssd_tags: Vec<std::sync::atomic::AtomicU64>,
     log_dev: SimDevice,
-    log_lba: parking_lot::Mutex<u64>,
+    log_lba: crate::sync::Mutex<u64>,
 }
 
 impl IoManager {
@@ -91,7 +91,7 @@ impl IoManager {
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
             log_dev: SimDevice::new("log", setup.log_profile),
-            log_lba: parking_lot::Mutex::new(0),
+            log_lba: crate::sync::Mutex::new(0),
         }
     }
 

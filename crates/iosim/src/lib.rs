@@ -18,14 +18,18 @@
 //! The crate also provides the page abstraction and in-memory backing stores
 //! that hold the actual page bytes for the simulated disk and SSD.
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod clock;
 pub mod device;
 pub mod io_manager;
 pub mod page;
 pub mod profiles;
+pub mod rng;
 pub mod stats;
 pub mod store;
+pub mod sync;
 
 pub use array::StripedArray;
 pub use clock::{Clk, Time, HOUR, MICROSECOND, MILLISECOND, MINUTE, SECOND};

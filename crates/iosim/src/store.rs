@@ -6,7 +6,7 @@
 //! simulator never reorders a read before a write that was submitted earlier
 //! in its virtual history).
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::page::PageId;
 

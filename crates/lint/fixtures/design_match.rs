@@ -1,0 +1,32 @@
+// Fixture: L4 design-match violations.
+
+enum SsdDesign {
+    CleanWrite,
+    DualWrite,
+    LazyCleaning,
+    Tac,
+}
+
+fn bad_wildcard(design: SsdDesign) -> u8 {
+    match design {
+        SsdDesign::CleanWrite => 1,
+        _ => 0, // should fire: wildcard arm hides new designs
+    }
+}
+
+fn good_exhaustive(design: SsdDesign) -> u8 {
+    match design {
+        SsdDesign::CleanWrite => 1,
+        SsdDesign::DualWrite => 2,
+        SsdDesign::LazyCleaning => 3,
+        SsdDesign::Tac => 4,
+    }
+}
+
+fn good_tuple_table(design: SsdDesign, x: u8) -> u8 {
+    // Tuple scrutinees are transition tables: exempt by design.
+    match (design, x) {
+        (SsdDesign::Tac, 0) => 1,
+        _ => 0,
+    }
+}

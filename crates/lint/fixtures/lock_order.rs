@@ -1,0 +1,29 @@
+// Fixture: L3 lock-order violations against the declared order
+// ["catalog", "inner", "parts", "data", "states"].
+
+struct S {
+    inner: std::sync::Mutex<u8>,
+    data: Vec<std::sync::RwLock<u8>>,
+}
+
+impl S {
+    fn bad_inversion(&self) {
+        let d = self.data[0].write();
+        let i = self.inner.lock(); // should fire: data held while taking inner
+        drop(i);
+        drop(d);
+    }
+
+    fn good_nesting(&self) {
+        let i = self.inner.lock();
+        let d = self.data[0].read(); // fine: inner before data
+        drop(d);
+        drop(i);
+    }
+
+    fn good_after_drop(&self) {
+        let d = self.data[0].write();
+        drop(d);
+        let _i = self.inner.lock(); // fine: guard released first
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: L2 panic violations. Fixture paths are in scope for every
+// rule regardless of crate.
+
+fn bad_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // should fire: panic
+}
+
+fn bad_expect(x: Option<u8>) -> u8 {
+    x.expect("present") // should fire: panic
+}
+
+fn bad_panic() {
+    panic!("boom"); // should fire: panic
+}
+
+fn bad_unreachable() {
+    unreachable!(); // should fire: panic
+}
+
+fn suppressed(x: Option<u8>) -> u8 {
+    // lint: allow(panic) — fixture demonstrating suppression
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u8).unwrap();
+    }
+}

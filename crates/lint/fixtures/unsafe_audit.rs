@@ -1,0 +1,14 @@
+// Fixture: L5 unsafe-audit violations.
+
+fn bad_undocumented() -> u8 {
+    let x: u8 = 7;
+    let p = &x as *const u8;
+    unsafe { *p } // should fire: undocumented
+}
+
+fn good_documented() -> u8 {
+    let x: u8 = 7;
+    let p = &x as *const u8;
+    // # Safety: p points at a live local for the whole expression.
+    unsafe { *p }
+}

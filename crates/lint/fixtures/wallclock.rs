@@ -1,0 +1,19 @@
+// Fixture: L1 wallclock violations. Not compiled — scanned by the
+// lint self-tests and by `cargo run -p turbopool-lint -- crates/lint/fixtures`.
+
+fn bad_instant() -> std::time::Instant {
+    std::time::Instant::now() // should fire: wallclock
+}
+
+fn bad_system_time() -> std::time::SystemTime {
+    std::time::SystemTime::now() // should fire: wallclock
+}
+
+fn bad_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // should fire
+}
+
+fn suppressed() {
+    // lint: allow(wallclock) — fixture demonstrating suppression
+    let _ = std::time::Instant::now();
+}

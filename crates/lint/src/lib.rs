@@ -1,0 +1,912 @@
+//! `turbopool-lint` — repo-native static analysis for the workspace.
+//!
+//! A deliberately small line/token scanner (no `syn`, no external crates;
+//! this environment cannot reach a registry) enforcing rules that `rustc`
+//! and `clippy` cannot express because they are *about this repository*:
+//!
+//! * **L1 `wallclock`** — no `Instant::now` / `SystemTime` /
+//!   `thread::sleep` anywhere outside the harness allowlist: all
+//!   simulation code must run on the virtual clock (`turbopool_iosim::Clk`),
+//!   or experiments stop being deterministic and replayable.
+//! * **L2 `panic`** — no `unwrap()` / `expect(..)` / `panic!` family in
+//!   non-test code of `crates/core` and `crates/bufpool`: the buffer-pool
+//!   hot paths must degrade, not abort. Justify exceptions with a
+//!   `// lint: allow(panic)` comment.
+//! * **L3 `lock-order`** — nested `Mutex`/`RwLock` acquisitions must
+//!   follow the order declared in `crates/lint/lock_order.toml`, keeping
+//!   the future multi-threaded pool deadlock-free. Intra-function only:
+//!   guards are tracked through `let` bindings, `drop(..)` calls and
+//!   block scope.
+//! * **L4 `design-match`** — a `match` over a plain `SsdDesign` scrutinee
+//!   must name all four designs and use no `_` arm, so adding a design is
+//!   a compile-surface event. (Tuple scrutinees like `(design, state)`
+//!   are exempt: those are transition tables, exhaustive per-row.)
+//! * **L5 `unsafe`** — the workspace is `unsafe`-free today; any `unsafe`
+//!   token must carry a `# Safety` comment explaining the contract.
+//!
+//! Comments and string literals are scrubbed before token matching, so a
+//! rule name appearing in a doc comment or a message string never trips
+//! the rule. Findings on a line are suppressed by a `lint: allow(<rule>)`
+//! marker on the same line or in the comment block directly above it.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The rules, named as they appear in `lint: allow(..)` markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    Wallclock,
+    Panic,
+    LockOrder,
+    DesignMatch,
+    Unsafe,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Wallclock => "wallclock",
+            Rule::Panic => "panic",
+            Rule::LockOrder => "lock-order",
+            Rule::DesignMatch => "design-match",
+            Rule::Unsafe => "unsafe",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Harness-side files where wall-clock use is legitimate: they measure
+/// *real* OS-thread contention, which the virtual clock cannot observe.
+/// Each file carries a justification comment at the call site.
+const WALLCLOCK_ALLOWLIST: &[&str] = &[
+    "crates/bench/benches/ablation.rs",
+    "examples/oltp_shootout.rs",
+];
+
+/// Linter configuration.
+pub struct Config {
+    /// Directory to scan (normally the workspace root).
+    pub root: PathBuf,
+    /// Declared lock classes, outermost first (see `lock_order.toml`).
+    pub lock_order: Vec<String>,
+}
+
+impl Config {
+    pub fn new(root: PathBuf, lock_order: Vec<String>) -> Self {
+        Config { root, lock_order }
+    }
+}
+
+/// Locate the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` is found.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Parse the `order = ["a", "b", ...]` line of a lock-order file. A
+/// missing file yields an empty order (L3 disabled) rather than an error,
+/// so the tool degrades gracefully outside the repository.
+pub fn load_lock_order(path: &Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let scrubbed: String = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let Some(start) = scrubbed.find("order") else {
+        return Vec::new();
+    };
+    let Some(open) = scrubbed[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = scrubbed[start + open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &scrubbed[start + open + 1..start + open + close];
+    body.split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Run every rule over all `.rs` files under `cfg.root`, skipping
+/// `target/`, `.git/` and `fixtures/` subtrees (fixtures are scanned by
+/// the self-tests, or by pointing the binary straight at them).
+pub fn run(cfg: &Config) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs_files(&cfg.root, &cfg.root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let Ok(source) = fs::read_to_string(cfg.root.join(&rel)) else {
+            continue;
+        };
+        findings.extend(scan_file(cfg, &rel, &source));
+    }
+    findings
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Never descend into build output or VCS state; skip fixture
+            // subtrees unless they ARE the scan root.
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// A source file prepared for token matching.
+struct Prepared {
+    /// Lines with comments and string/char literals blanked out.
+    code: Vec<String>,
+    /// Comment text per line (everything after `//`, and block-comment
+    /// bodies), used for `lint: allow` markers and `# Safety` checks.
+    comments: Vec<String>,
+    /// True for lines whose comment text is the whole line.
+    comment_only: Vec<bool>,
+    /// Lines inside `#[cfg(test)]` modules or `#[test]` functions.
+    in_test: Vec<bool>,
+}
+
+/// Scrub comments and literals, keeping byte positions line-aligned.
+fn prepare(source: &str) -> Prepared {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut code: Vec<String> = Vec::with_capacity(lines.len());
+    let mut comments: Vec<String> = vec![String::new(); lines.len()];
+
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Block(usize), // nesting depth of /* */
+        Str,
+        RawStr(usize), // number of # in the delimiter
+    }
+    let mut st = St::Code;
+    for (ln, line) in lines.iter().enumerate() {
+        let b = line.as_bytes();
+        let mut out = String::with_capacity(b.len());
+        let mut i = 0usize;
+        while i < b.len() {
+            match st {
+                St::Code => {
+                    let c = b[i];
+                    if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        comments[ln].push_str(&line[i + 2..]);
+                        while out.len() < b.len() {
+                            out.push(' ');
+                        }
+                        i = b.len();
+                    } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        st = St::Block(1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else if c == b'"' {
+                        st = St::Str;
+                        out.push(' ');
+                        i += 1;
+                    } else if c == b'r'
+                        && (i == 0 || !is_ident_byte(b[i - 1]))
+                        && i + 1 < b.len()
+                        && (b[i + 1] == b'"' || b[i + 1] == b'#')
+                    {
+                        // Raw string r"..." / r#"..."#.
+                        let mut hashes = 0usize;
+                        let mut j = i + 1;
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'"' {
+                            st = St::RawStr(hashes);
+                            for _ in i..=j {
+                                out.push(' ');
+                            }
+                            i = j + 1;
+                        } else {
+                            out.push(c as char);
+                            i += 1;
+                        }
+                    } else if c == b'\'' {
+                        // Char literal vs lifetime: a literal closes with a
+                        // quote within a few bytes ('a', '\n', '\u{..}').
+                        let rest = &b[i + 1..];
+                        let close = if rest.first() == Some(&b'\\') {
+                            rest.iter().skip(1).position(|&x| x == b'\'').map(|p| p + 1)
+                        } else if rest.len() >= 2 && rest[1] == b'\'' {
+                            Some(1)
+                        } else {
+                            None
+                        };
+                        if let Some(off) = close {
+                            for _ in 0..off + 2 {
+                                out.push(' ');
+                            }
+                            i += off + 2;
+                        } else {
+                            out.push(' '); // lifetime tick
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c as char);
+                        i += 1;
+                    }
+                }
+                St::Block(depth) => {
+                    if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        st = St::Block(depth + 1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        comments[ln].push(b[i] as char);
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if b[i] == b'\\' {
+                        out.push_str("  ");
+                        i += 2.min(b.len() - i);
+                    } else if b[i] == b'"' {
+                        st = St::Code;
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if b[i] == b'"' {
+                        let tail = &b[i + 1..];
+                        if tail.len() >= hashes && tail[..hashes].iter().all(|&x| x == b'#') {
+                            st = St::Code;
+                            for _ in 0..hashes + 1 {
+                                out.push(' ');
+                            }
+                            i += hashes + 1;
+                            continue;
+                        }
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        code.push(out);
+    }
+
+    let comment_only: Vec<bool> = lines
+        .iter()
+        .enumerate()
+        .map(|(ln, l)| !l.trim().is_empty() && code[ln].trim().is_empty())
+        .collect();
+
+    // Mark #[cfg(test)] / #[test] regions by brace depth: the attribute
+    // arms a flag that attaches to the next opened block.
+    let mut in_test = vec![false; lines.len()];
+    let mut depth = 0usize;
+    let mut pending = false;
+    let mut stack: Vec<bool> = Vec::new(); // is_test per open block
+    for (ln, l) in code.iter().enumerate() {
+        if l.contains("#[cfg(test)]") || l.contains("#[test]") {
+            pending = true;
+        }
+        let inherited = stack.iter().any(|&t| t);
+        in_test[ln] = inherited || pending;
+        for ch in l.chars() {
+            match ch {
+                '{' => {
+                    stack.push(pending);
+                    pending = false;
+                    depth += 1;
+                }
+                '}' => {
+                    stack.pop();
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+        let _ = depth;
+    }
+
+    Prepared {
+        code,
+        comments,
+        comment_only,
+        in_test,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is finding `rule` on line `ln` (0-based) suppressed by a
+/// `lint: allow(<rule>)` marker on the same line or the comment block
+/// directly above?
+fn allowed(p: &Prepared, ln: usize, rule: Rule) -> bool {
+    let marker = format!("lint: allow({})", rule.name());
+    if p.comments[ln].contains(&marker) {
+        return true;
+    }
+    let mut i = ln;
+    while i > 0 && p.comment_only[i - 1] {
+        i -= 1;
+        if p.comments[i].contains(&marker) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan one file. `rel` is the path relative to the workspace root; it
+/// drives per-rule scoping. Fixture files (any path containing a
+/// `fixtures` component) are treated as in scope for every rule.
+pub fn scan_file(cfg: &Config, rel: &Path, source: &str) -> Vec<Finding> {
+    let p = prepare(source);
+    let mut out = Vec::new();
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    // Fixture files are in scope for every rule, whether reached via
+    // their repo-relative path or by scanning the fixtures dir directly.
+    let is_fixture =
+        rel_str.contains("fixtures") || cfg.root.to_string_lossy().contains("fixtures");
+
+    rule_wallclock(&p, rel, &rel_str, &mut out);
+    if is_fixture
+        || rel_str.starts_with("crates/core/src")
+        || rel_str.starts_with("crates/bufpool/src")
+    {
+        rule_panic(&p, rel, &mut out);
+    }
+    rule_lock_order(cfg, &p, rel, &mut out);
+    rule_design_match(&p, rel, &mut out);
+    rule_unsafe(&p, rel, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------- L1 ----
+
+fn rule_wallclock(p: &Prepared, rel: &Path, rel_str: &str, out: &mut Vec<Finding>) {
+    if WALLCLOCK_ALLOWLIST.iter().any(|a| rel_str.ends_with(a)) {
+        return;
+    }
+    for (ln, code) in p.code.iter().enumerate() {
+        for pat in ["Instant::now", "SystemTime", "thread::sleep"] {
+            if code.contains(pat) && !allowed(p, ln, Rule::Wallclock) {
+                out.push(Finding {
+                    rule: Rule::Wallclock,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: format!(
+                        "wall-clock API `{pat}` — simulation code must use the virtual clock \
+                         (turbopool_iosim::Clk)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L2 ----
+
+fn rule_panic(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    const PATS: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ];
+    for (ln, code) in p.code.iter().enumerate() {
+        if p.in_test[ln] {
+            continue;
+        }
+        for pat in PATS {
+            if let Some(pos) = code.find(pat) {
+                // debug_assert!/assert! are fine; also skip macro *names*
+                // appearing inside longer identifiers.
+                if pat.starts_with(char::is_alphabetic)
+                    && pos > 0
+                    && is_ident_byte(code.as_bytes()[pos - 1])
+                {
+                    continue;
+                }
+                if !allowed(p, ln, Rule::Panic) {
+                    out.push(Finding {
+                        rule: Rule::Panic,
+                        file: rel.to_path_buf(),
+                        line: ln + 1,
+                        message: format!(
+                            "`{}` in buffer-pool hot path — return an error or justify with \
+                             `// lint: allow(panic)`",
+                            pat.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L3 ----
+
+/// One live lock guard inside a function body.
+struct Guard {
+    class: usize,
+    depth: usize,
+    binding: Option<String>,
+    line: usize,
+}
+
+fn rule_lock_order(cfg: &Config, p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    if cfg.lock_order.is_empty() {
+        return;
+    }
+    let class_of = |ident: &str| cfg.lock_order.iter().position(|c| c == ident);
+
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut stmt = String::new(); // current statement text across lines
+    for (ln, code) in p.code.iter().enumerate() {
+        let b = code.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() {
+            let c = b[i];
+            match c as char {
+                '{' => {
+                    depth += 1;
+                    stmt.clear();
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                    stmt.clear();
+                }
+                ';' => {
+                    // drop(name) releases a named guard early.
+                    if let Some(dropped) = parse_drop(&stmt) {
+                        guards.retain(|g| g.binding.as_deref() != Some(dropped.as_str()));
+                    }
+                    stmt.clear();
+                }
+                ch => stmt.push(ch),
+            }
+            // Acquisition site? `.lock()`, `.read()`, `.write()` with
+            // empty parens.
+            for (pat, _kind) in [(".lock()", 0), (".read()", 1), (".write()", 2)] {
+                if b[i..].starts_with(pat.as_bytes()) {
+                    if let Some(ident) = receiver_ident(&code[..i + 1]) {
+                        if let Some(class) = class_of(&ident) {
+                            for g in &guards {
+                                if g.class > class && !allowed(p, ln, Rule::LockOrder) {
+                                    out.push(Finding {
+                                        rule: Rule::LockOrder,
+                                        file: rel.to_path_buf(),
+                                        line: ln + 1,
+                                        message: format!(
+                                            "acquires `{}` while holding `{}` (line {}) — \
+                                             declared order is {:?}",
+                                            cfg.lock_order[class],
+                                            cfg.lock_order[g.class],
+                                            g.line,
+                                            cfg.lock_order
+                                        ),
+                                    });
+                                }
+                            }
+                            // Track let-bound guards; chained temporaries
+                            // die within the statement and are not pushed.
+                            if let Some(binding) = parse_let_binding(&stmt) {
+                                guards.push(Guard {
+                                    class,
+                                    depth,
+                                    binding: Some(binding),
+                                    line: ln + 1,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        stmt.push(' ');
+    }
+}
+
+/// Last identifier of the receiver chain ending just before the final
+/// `.`: `self.parts[idx].lock()` -> `parts`; `self.inner.lock()` ->
+/// `inner`. `text` ends at the `.` of the call.
+fn receiver_ident(text: &str) -> Option<String> {
+    let b = text.as_bytes();
+    let mut i = b.len().checked_sub(1)?; // the '.'
+    if b[i] != b'.' {
+        return None;
+    }
+    // Skip backwards over (..) and [..] groups.
+    loop {
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+        match b[i] {
+            b')' | b']' => {
+                let (open, close) = if b[i] == b')' {
+                    (b'(', b')')
+                } else {
+                    (b'[', b']')
+                };
+                let mut level = 1usize;
+                while level > 0 {
+                    if i == 0 {
+                        return None;
+                    }
+                    i -= 1;
+                    if b[i] == close {
+                        level += 1;
+                    } else if b[i] == open {
+                        level -= 1;
+                    }
+                }
+            }
+            x if is_ident_byte(x) => break,
+            _ => return None,
+        }
+    }
+    let end = i + 1;
+    let mut start = end;
+    while start > 0 && is_ident_byte(b[start - 1]) {
+        start -= 1;
+    }
+    let ident = &text[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+/// `let [mut] NAME ... = ...` -> NAME, if the statement is a let.
+fn parse_let_binding(stmt: &str) -> Option<String> {
+    let t = stmt.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest
+        .trim_start()
+        .strip_prefix("mut ")
+        .unwrap_or(rest.trim_start());
+    let name: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// `drop(NAME)` -> NAME, if the statement is a drop call.
+fn parse_drop(stmt: &str) -> Option<String> {
+    let t = stmt.trim();
+    let rest = t.strip_prefix("drop(")?;
+    let name: String = rest
+        .chars()
+        .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+        .collect();
+    rest[name.len()..].starts_with(')').then_some(name)
+}
+
+// ---------------------------------------------------------------- L4 ----
+
+const DESIGNS: &[&str] = &["CleanWrite", "DualWrite", "LazyCleaning", "Tac"];
+
+fn rule_design_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    // Flatten to one string with line markers for cross-line matches.
+    let joined: Vec<(usize, &str)> = p
+        .code
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s.as_str()))
+        .collect();
+    for (ln, code) in &joined {
+        let mut search = 0usize;
+        while let Some(pos) = code[search..].find("match ") {
+            let at = search + pos;
+            search = at + 6;
+            if at > 0 && is_ident_byte(code.as_bytes()[at - 1]) {
+                continue; // part of a longer identifier
+            }
+            // Scrutinee: text from after `match` to the opening `{`
+            // (same line or the next few).
+            let mut scrutinee = String::new();
+            let mut body_start: Option<(usize, usize)> = None; // (line, col)
+            'outer: for (l2, c2) in joined.iter().skip_while(|(i, _)| i < ln) {
+                let text = if l2 == ln { &c2[at + 6..] } else { c2 };
+                if let Some(b) = text.find('{') {
+                    scrutinee.push_str(&text[..b]);
+                    let col = if l2 == ln { at + 6 + b } else { b };
+                    body_start = Some((*l2, col));
+                    break 'outer;
+                }
+                scrutinee.push_str(text);
+                scrutinee.push(' ');
+            }
+            let Some((bl, bc)) = body_start else { continue };
+            let s = scrutinee.trim();
+            // Plain design scrutinee only: tuples are transition tables.
+            let is_design = !s.starts_with('(')
+                && (s == "design" || s.ends_with(".design") || s.ends_with(" design"));
+            if !is_design {
+                continue;
+            }
+            // Walk the match body to its closing brace.
+            let mut body = String::new();
+            let mut depth = 1usize;
+            let mut l = bl;
+            let mut c = bc + 1;
+            let mut wildcard_arm = false;
+            'body: while l < joined.len() {
+                let line = joined[l].1;
+                let bytes = line.as_bytes();
+                while c < bytes.len() {
+                    match bytes[c] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break 'body;
+                            }
+                        }
+                        b'_' if depth == 1 => {
+                            // `_ =>` or `_ if .. =>` at arm level.
+                            let before_ok = c == 0 || !is_ident_byte(bytes[c - 1]);
+                            let after = line[c + 1..].trim_start();
+                            if before_ok && (after.starts_with("=>") || after.starts_with("if ")) {
+                                wildcard_arm = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                    body.push(bytes[c] as char);
+                    c += 1;
+                }
+                body.push('\n');
+                l += 1;
+                c = 0;
+            }
+            let missing: Vec<&str> = DESIGNS
+                .iter()
+                .filter(|d| !body.contains(*d))
+                .copied()
+                .collect();
+            if (wildcard_arm || !missing.is_empty()) && !allowed(p, *ln, Rule::DesignMatch) {
+                let what = if wildcard_arm {
+                    "has a `_` arm".to_string()
+                } else {
+                    format!("does not name {missing:?}")
+                };
+                out.push(Finding {
+                    rule: Rule::DesignMatch,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: format!(
+                        "`match` over SsdDesign {what} — all four designs must be handled \
+                         explicitly so adding one is a compile-surface event"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L5 ----
+
+fn rule_unsafe(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    for (ln, code) in p.code.iter().enumerate() {
+        let mut search = 0usize;
+        while let Some(pos) = code[search..].find("unsafe") {
+            let at = search + pos;
+            search = at + 6;
+            let before_ok = at == 0 || !is_ident_byte(code.as_bytes()[at - 1]);
+            let after_ok = at + 6 >= code.len() || !is_ident_byte(code.as_bytes()[at + 6]);
+            if !(before_ok && after_ok) {
+                continue;
+            }
+            // `forbid(unsafe_code)` style attributes mention the lint
+            // name, not the keyword; the ident check above filtered
+            // `unsafe_code` already.
+            let mut justified = allowed(p, ln, Rule::Unsafe);
+            let mut i = ln;
+            while !justified && i > 0 && p.comment_only[i - 1] {
+                i -= 1;
+                justified = p.comments[i].contains("# Safety") || p.comments[i].contains("SAFETY:");
+            }
+            justified = justified
+                || p.comments[ln].contains("# Safety")
+                || p.comments[ln].contains("SAFETY:");
+            if !justified {
+                out.push(Finding {
+                    rule: Rule::Unsafe,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: "`unsafe` without a `# Safety` comment — the workspace is \
+                              unsafe-free; document the contract or remove it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::new(
+            PathBuf::from("."),
+            vec!["inner".into(), "data".into(), "states".into()],
+        )
+    }
+
+    fn scan(rel: &str, src: &str) -> Vec<Finding> {
+        scan_file(&cfg(), Path::new(rel), src)
+    }
+
+    #[test]
+    fn strings_and_comments_are_scrubbed() {
+        let src = r#"
+            // Instant::now in a comment is fine
+            fn f() { let s = "Instant::now"; }
+        "#;
+        assert!(scan("crates/iosim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_fires_and_allows() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let f = scan("crates/iosim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Wallclock);
+        let src = "// lint: allow(wallclock) harness-side\nfn f() { let t = std::time::Instant::now(); }\n";
+        assert!(scan("crates/iosim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_scoped_to_core_and_bufpool() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(scan("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(scan("crates/bufpool/src/x.rs", src).len(), 1);
+        assert!(scan("crates/iosim/src/x.rs", src).is_empty());
+        // Test modules are exempt.
+        let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert!(scan("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_detects_inversion_and_respects_drop() {
+        let bad = "fn f(&self) {\n let d = self.data[0].write();\n let i = self.inner.lock();\n}\n";
+        let f = scan("crates/bufpool/src/x.rs", bad);
+        assert!(f.iter().any(|f| f.rule == Rule::LockOrder), "{f:?}");
+        let ok = "fn f(&self) {\n let d = self.data[0].write();\n drop(d);\n let i = self.inner.lock();\n}\n";
+        assert!(scan("crates/bufpool/src/x.rs", ok)
+            .iter()
+            .all(|f| f.rule != Rule::LockOrder));
+        let nested_ok =
+            "fn f(&self) {\n let i = self.inner.lock();\n let d = self.data[0].write();\n}\n";
+        assert!(scan("crates/bufpool/src/x.rs", nested_ok)
+            .iter()
+            .all(|f| f.rule != Rule::LockOrder));
+    }
+
+    #[test]
+    fn block_scope_releases_guards() {
+        let src =
+            "fn f(&self) {\n { let d = self.data[0].read(); }\n let i = self.inner.lock();\n}\n";
+        assert!(scan("crates/bufpool/src/x.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::LockOrder));
+    }
+
+    #[test]
+    fn design_match_requires_all_variants() {
+        let bad = "fn f(&self) { match self.cfg.design {\n SsdDesign::CleanWrite => 1,\n _ => 2,\n }; }\n";
+        let f = scan("crates/core/src/y.rs", bad);
+        assert!(f.iter().any(|f| f.rule == Rule::DesignMatch), "{f:?}");
+        let good = "fn f(&self) { match self.cfg.design {\n SsdDesign::CleanWrite => 1,\n SsdDesign::DualWrite => 2,\n SsdDesign::LazyCleaning => 3,\n SsdDesign::Tac => 4,\n }; }\n";
+        assert!(scan("crates/core/src/y.rs", good)
+            .iter()
+            .all(|f| f.rule != Rule::DesignMatch));
+        // Tuple scrutinees (transition tables) are exempt.
+        let tuple = "fn f() { match (design, from) {\n (Tac, _) => 1,\n _ => 2,\n }; }\n";
+        assert!(scan("crates/core/src/y.rs", tuple)
+            .iter()
+            .all(|f| f.rule != Rule::DesignMatch));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { let p = unsafe { *(0 as *const u8) }; }\n";
+        assert!(scan("crates/iosim/src/z.rs", bad)
+            .iter()
+            .any(|f| f.rule == Rule::Unsafe));
+        let good = "// # Safety: null deref is fine in this test fixture.\nfn f() { let p = unsafe { *(0 as *const u8) }; }\n";
+        assert!(scan("crates/iosim/src/z.rs", good)
+            .iter()
+            .all(|f| f.rule != Rule::Unsafe));
+        // The lint *name* in attributes is not the keyword.
+        let attr = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(scan("crates/iosim/src/z.rs", attr).is_empty());
+    }
+
+    #[test]
+    fn lock_order_file_parses() {
+        let dir = std::env::temp_dir().join("turbopool_lint_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lock_order.toml");
+        fs::write(&path, "# comment\norder = [\"a\", \"b\"] # trailing\n").unwrap();
+        assert_eq!(
+            load_lock_order(&path),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        assert!(load_lock_order(&dir.join("missing.toml")).is_empty());
+    }
+}

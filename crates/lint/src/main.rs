@@ -1,0 +1,46 @@
+//! `turbopool-lint` binary: scan a tree (default: the workspace root)
+//! and exit non-zero if any rule fires.
+//!
+//! Usage: `cargo run -p turbopool-lint [-- ROOT]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use turbopool_lint::{load_lock_order, run, workspace_root, Config};
+
+fn main() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let ws = workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+    let root = match std::env::args().nth(1) {
+        Some(arg) => {
+            let p = PathBuf::from(&arg);
+            if p.is_absolute() {
+                p
+            } else {
+                cwd.join(p)
+            }
+        }
+        None => ws.clone(),
+    };
+
+    // The lock order always comes from the workspace's declaration, even
+    // when scanning a subtree (e.g. the fixtures directory).
+    let lock_order = load_lock_order(&ws.join("crates/lint/lock_order.toml"));
+    let cfg = Config::new(root.clone(), lock_order);
+
+    let findings = run(&cfg);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("turbopool-lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "turbopool-lint: {} finding(s) in {}",
+            findings.len(),
+            root.display()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,8 @@
 //! before the checkpoint record is written, so the log before the checkpoint
 //! is never needed again and is truncated.
 
+#![forbid(unsafe_code)]
+
 pub mod log;
 pub mod record;
 pub mod recovery;

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use turbopool_iosim::sync::Mutex;
 use turbopool_iosim::{Clk, IoManager};
 
 use crate::record::LogRecord;

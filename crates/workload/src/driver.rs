@@ -12,9 +12,9 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use turbopool_core::cleaner::{CleanerStep, LazyCleaner};
 use turbopool_engine::Database;
+use turbopool_iosim::sync::Mutex;
 use turbopool_iosim::{clock, Clk, Time};
 
 /// Outcome of one client step.

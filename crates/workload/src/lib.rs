@@ -16,6 +16,8 @@
 //! ratio the evaluation depends on (hit rates, ramp-up shape, crossovers)
 //! is preserved while a "10-hour" run finishes in seconds of wall time.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod rand_util;
 pub mod scenario;

@@ -1,7 +1,7 @@
 //! Random distributions used by the workload generators.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use turbopool_iosim::rng::Rng;
+use turbopool_iosim::rng::SmallRng;
 
 /// TPC-C's non-uniform random function NURand(A, x, y):
 /// `(((rand(0,A) | rand(x,y)) + C) % (y - x + 1)) + x`.
@@ -51,7 +51,7 @@ impl Zipf {
 /// Deterministic per-run RNG seeding: one base seed, one stream per
 /// client, so adding clients does not perturb existing streams.
 pub fn client_rng(base_seed: u64, client: u64) -> SmallRng {
-    use rand::SeedableRng;
+    use turbopool_iosim::rng::SeedableRng;
     SmallRng::seed_from_u64(base_seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 

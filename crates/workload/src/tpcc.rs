@@ -13,9 +13,9 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
 use turbopool_engine::{bulk_load_heap, bulk_load_index, Database, HeapId, IndexId};
+use turbopool_iosim::rng::Rng;
+use turbopool_iosim::rng::SmallRng;
 use turbopool_iosim::{Clk, Time, MILLISECOND};
 
 use crate::driver::{Client, StepResult, ThroughputRecorder};
@@ -644,7 +644,7 @@ mod tests {
         }
         let t = Arc::try_unwrap(t).ok().expect("sole owner");
         let db = Arc::try_unwrap(t.db).ok().expect("sole db owner");
-        let (db2, stats) = turbopool_engine::Database::recover(db.crash());
+        let (db2, stats) = Database::recover(db.crash());
         assert!(stats.records_scanned > 0);
         let mut clk = Clk::new();
         let mut txn = db2.begin(&mut clk);

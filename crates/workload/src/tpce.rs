@@ -15,9 +15,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
 use turbopool_engine::{bulk_load_heap, bulk_load_index, Database, HeapId, IndexId};
+use turbopool_iosim::rng::Rng;
+use turbopool_iosim::rng::SmallRng;
 use turbopool_iosim::{Clk, Time, MILLISECOND};
 
 use crate::driver::{Client, StepResult, ThroughputRecorder};

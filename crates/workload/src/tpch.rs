@@ -20,10 +20,10 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::Rng;
 use turbopool_engine::{bulk_load_heap, bulk_load_index, Database, HeapId, IndexId};
+use turbopool_iosim::rng::Rng;
+use turbopool_iosim::rng::SmallRng;
+use turbopool_iosim::sync::Mutex;
 use turbopool_iosim::{Clk, Time, MILLISECOND, SECOND};
 
 use crate::driver::{Client, Driver, StepResult};

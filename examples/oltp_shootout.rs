@@ -42,6 +42,9 @@ fn main() {
         Design::Tac,
         Design::Lc,
     ] {
+        // Wall clock on purpose (turbopool-lint allowlists this file):
+        // reports how long the host takes to simulate each design, next
+        // to the virtual-time throughput the simulation itself measures.
         let wall = std::time::Instant::now();
         let t = Arc::new(Tpcc::setup(design, warehouses, 0.5));
         let tpmc = ThroughputRecorder::new(6 * MINUTE);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: formatting, repo-native lint, build, tests.
+# Everything here runs offline (the workspace has no external deps).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> turbopool-lint (repo tree must scan clean)"
+cargo run -q -p turbopool-lint
+
+echo "==> turbopool-lint (seeded fixtures must fail)"
+if cargo run -q -p turbopool-lint -- crates/lint/fixtures >/dev/null 2>&1; then
+    echo "ERROR: linter exited 0 on the seeded-violation fixtures" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

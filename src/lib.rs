@@ -46,6 +46,8 @@
 //! txn.commit();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use turbopool_bufpool as bufpool;
 pub use turbopool_core as core;
 pub use turbopool_engine as engine;

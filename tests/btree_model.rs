@@ -7,9 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
 use turbopool::core::{SsdConfig, SsdDesign};
 use turbopool::engine::{Database, DbConfig};
+use turbopool::iosim::rng::{Rng, SeedableRng, SmallRng};
 use turbopool::iosim::Clk;
 
 #[derive(Debug, Clone)]
@@ -22,24 +22,25 @@ enum Op {
     Abort,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            6 => (any::<u16>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
-            2 => any::<u16>().prop_map(Op::Delete),
-            3 => any::<u16>().prop_map(Op::Get),
-            2 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a, b)),
-            1 => Just(Op::Commit),
-            1 => Just(Op::Abort),
-        ],
-        1..300,
-    )
+/// Weighted op draw matching the old proptest strategy (6:2:3:2:1:1).
+fn draw_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0u32..15) {
+        0..=5 => Op::Insert(rng.gen(), rng.gen()),
+        6..=7 => Op::Delete(rng.gen()),
+        8..=10 => Op::Get(rng.gen()),
+        11..=12 => Op::Range(rng.gen(), rng.gen()),
+        13 => Op::Commit,
+        _ => Op::Abort,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn btree_matches_btreemap(ops in ops()) {
+#[test]
+fn btree_matches_btreemap() {
+    for case in 0u64..32 {
+        let mut rng = SmallRng::seed_from_u64(0xB7EE ^ case);
+        let ops: Vec<Op> = (0..rng.gen_range(1usize..300))
+            .map(|_| draw_op(&mut rng))
+            .collect();
         let mut cfg = DbConfig::small_for_tests();
         cfg.db_pages = 4096;
         cfg.mem_frames = 8; // force splits + evictions through the cache
@@ -61,18 +62,18 @@ proptest! {
                 Op::Delete(k) => {
                     let got = txn.index_delete(idx, k as u64);
                     let want = pending.remove(&(k as u64)).is_some();
-                    prop_assert_eq!(got, want, "delete {}", k);
+                    assert_eq!(got, want, "delete {}", k);
                 }
                 Op::Get(k) => {
                     let got = txn.index_get(idx, k as u64);
-                    prop_assert_eq!(got, pending.get(&(k as u64)).copied(), "get {}", k);
+                    assert_eq!(got, pending.get(&(k as u64)).copied(), "get {}", k);
                 }
                 Op::Range(a, b) => {
                     let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
                     let got = txn.index_range(idx, lo, hi, 10_000);
                     let want: Vec<(u64, u64)> =
                         pending.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
-                    prop_assert_eq!(got, want, "range {}..={}", lo, hi);
+                    assert_eq!(got, want, "range {}..={}", lo, hi);
                 }
                 Op::Commit => {
                     txn.commit();
@@ -93,7 +94,7 @@ proptest! {
         let mut txn = db.begin(&mut clk);
         let all = txn.index_range(idx, 0, u64::MAX, usize::MAX);
         let want: Vec<(u64, u64)> = committed.iter().map(|(&k, &v)| (k, v)).collect();
-        prop_assert_eq!(all, want);
+        assert_eq!(all, want);
         txn.commit();
 
         // And so does a recovered database after a crash.
@@ -102,7 +103,7 @@ proptest! {
         let mut txn = db2.begin(&mut clk);
         let all = txn.index_range(idx, 0, u64::MAX, usize::MAX);
         let want: Vec<(u64, u64)> = committed.iter().map(|(&k, &v)| (k, v)).collect();
-        prop_assert_eq!(all, want, "post-recovery divergence");
+        assert_eq!(all, want, "post-recovery divergence");
         txn.commit();
     }
 }

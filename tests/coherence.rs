@@ -6,10 +6,10 @@
 //! write-through designs (CW, DW, TAC) the SSD copy must additionally
 //! equal the disk copy (cases 4 and 6 are LC-only).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use turbopool::core::{SsdConfig, SsdDesign};
 use turbopool::engine::{Database, DbConfig};
+use turbopool::iosim::rng::SmallRng;
+use turbopool::iosim::rng::{Rng, SeedableRng};
 use turbopool::iosim::{Clk, PageId};
 
 fn build(design: SsdDesign) -> Database {

@@ -6,10 +6,10 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use turbopool::core::{SsdConfig, SsdDesign};
 use turbopool::engine::{Database, DbConfig};
+use turbopool::iosim::rng::SmallRng;
+use turbopool::iosim::rng::{Rng, SeedableRng};
 use turbopool::iosim::Clk;
 
 fn db_for(design: Option<SsdDesign>) -> Database {
@@ -35,7 +35,7 @@ fn run_workload(db: &Database, seed: u64, txns: usize, with_checkpoints: bool) -
 
     for t in 0..txns {
         let mut txn = db.begin(&mut clk);
-        match rng.gen_range(0..10) {
+        match rng.gen_range(0u32..10) {
             // Insert (most common).
             0..=4 => {
                 let key = rng.gen_range(0..100_000u64) | 1 << 32 | (t as u64) << 33;

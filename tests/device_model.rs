@@ -10,57 +10,71 @@
 //! 3. monotone interference — adding load never makes another stream
 //!    faster.
 
-use proptest::prelude::*;
+use turbopool::iosim::rng::{Rng, SeedableRng, SmallRng};
 use turbopool::iosim::{DeviceProfile, IoKind, Locality, SimDevice, SECOND};
 
 fn profile() -> DeviceProfile {
     DeviceProfile::from_iops(1_000.0, 10_000.0, 800.0, 8_000.0)
 }
 
-proptest! {
-    #[test]
-    fn completion_respects_service_time(
-        reqs in proptest::collection::vec((0u64..10 * SECOND, 0u64..1000, 1u64..5), 1..200)
-    ) {
+#[test]
+fn completion_respects_service_time() {
+    for case in 0u64..32 {
+        let mut rng = SmallRng::seed_from_u64(0xDE1_CE ^ case);
         let d = SimDevice::new("t", profile());
-        for (now, lba, npages) in reqs {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let now = rng.gen_range(0u64..10 * SECOND);
+            let lba = rng.gen_range(0u64..1000);
+            let npages = rng.gen_range(1u64..5);
             let t = d.submit(now, IoKind::Read, lba, npages, None);
             let min_service = npages * profile().seq_read_ns; // cheapest possible
-            prop_assert!(t.complete >= now + min_service,
-                "complete {} < now {} + min {}", t.complete, now, min_service);
-            prop_assert!(t.start >= now);
-            prop_assert!(t.complete > t.start);
+            assert!(
+                t.complete >= now + min_service,
+                "complete {} < now {} + min {}",
+                t.complete,
+                now,
+                min_service
+            );
+            assert!(t.start >= now);
+            assert!(t.complete > t.start);
         }
     }
+}
 
-    #[test]
-    fn busy_time_equals_offered_work(
-        reqs in proptest::collection::vec((0u64..SECOND, 0u64..1000), 1..300)
-    ) {
+#[test]
+fn busy_time_equals_offered_work() {
+    for case in 0u64..32 {
+        let mut rng = SmallRng::seed_from_u64(0xB0_5E ^ case);
         let d = SimDevice::new("t", profile());
         let mut expect = 0u64;
-        for (now, lba) in reqs {
+        for _ in 0..rng.gen_range(1usize..300) {
+            let now = rng.gen_range(0u64..SECOND);
+            let lba = rng.gen_range(0u64..1000);
             d.submit(now, IoKind::Write, lba, 1, Some(Locality::Random));
             expect += profile().rand_write_ns;
         }
         let s = d.stats().snapshot();
-        prop_assert_eq!(s.write_busy_ns, expect);
+        assert_eq!(s.write_busy_ns, expect);
     }
+}
 
-    #[test]
-    fn closed_loop_rate_never_exceeds_calibration(
-        seed in 0u64..1000, n in 100u64..2000
-    ) {
+#[test]
+fn closed_loop_rate_never_exceeds_calibration() {
+    for case in 0u64..16 {
+        let mut rng = SmallRng::seed_from_u64(0xC10_5ED ^ case);
+        let n = rng.gen_range(100u64..2000);
         let d = SimDevice::new("t", profile());
         let mut now = 0;
-        let mut x = seed;
+        let mut x = rng.gen_range(0u64..1000);
         for _ in 0..n {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            now = d.submit(now, IoKind::Read, x % 100_000, 1, Some(Locality::Random)).complete;
+            now = d
+                .submit(now, IoKind::Read, x % 100_000, 1, Some(Locality::Random))
+                .complete;
         }
         let iops = n as f64 / (now as f64 / SECOND as f64);
-        prop_assert!(iops <= 1_000.5, "iops {} exceeds calibrated 1000", iops);
-        prop_assert!(iops >= 990.0, "closed loop should saturate: {}", iops);
+        assert!(iops <= 1_000.5, "iops {iops} exceeds calibrated 1000");
+        assert!(iops >= 990.0, "closed loop should saturate: {iops}");
     }
 }
 
