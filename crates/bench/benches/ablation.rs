@@ -261,7 +261,7 @@ fn filling() {
         }));
         let mut clk = Clk::new();
         // Cold scan: floods the pool; evictions are sequential-class.
-        s.db.scan_heap(&mut clk, s.heap, |_, _| {});
+        s.db.scan_heap(&mut clk, s.heap, |_, _| {}).unwrap();
         // Random phase.
         let start = clk.now;
         let mut txn = s.db.begin(&mut clk);

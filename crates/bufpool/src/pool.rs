@@ -5,7 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use turbopool_iosim::sync::{Mutex, RwLock};
-use turbopool_iosim::{Clk, Locality, PageBuf, PageId, Time};
+use turbopool_iosim::{Clk, IoError, Locality, PageBuf, PageId, Time};
 
 use crate::lru2::{KDist, Lru2};
 use crate::readahead::{Classifier, ClassifierKind, ClassifierStats};
@@ -200,7 +200,16 @@ impl BufferPool {
     /// access method's ground-truth locality (index lookup = random, scan =
     /// sequential); the pool's classifier decides the *assigned* class that
     /// drives SSD admission.
-    pub fn get(&self, clk: &mut Clk, pid: PageId, declared: Locality) -> PageGuard<'_> {
+    ///
+    /// `Err` means the disk tier failed even after the storage layer's
+    /// retries; the installation is backed out and the pool is left exactly
+    /// as if the `get` had never happened.
+    pub fn get(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        declared: Locality,
+    ) -> Result<PageGuard<'_>, IoError> {
         debug_assert!(pid.0 < self.cfg.db_pages, "page {pid} beyond database");
         let mut inner = self.inner.lock();
         if let Some(&slot) = inner.map.get(&pid) {
@@ -210,11 +219,11 @@ impl BufferPool {
             // A hit still teaches the proximity classifier the access
             // pattern it would have observed at the I/O layer.
             inner.classifier.observe_hit(pid);
-            return PageGuard {
+            return Ok(PageGuard {
                 pool: self,
                 slot,
                 pid,
-            };
+            });
         }
         inner.stats.misses += 1;
         let assigned = inner.classifier.classify_miss(pid, declared);
@@ -245,7 +254,13 @@ impl BufferPool {
 
         if expand > 1 {
             drop(inner);
-            let pages = self.layer.read_run(clk, pid, expand);
+            let pages = match self.layer.read_run(clk, pid, expand) {
+                Ok(pages) => pages,
+                Err(e) => {
+                    self.abandon_install(slot, pid);
+                    return Err(e);
+                }
+            };
             self.data[slot].write().copy_from(pages[0].as_slice());
             let mut inner = self.inner.lock();
             for (i, page) in pages.into_iter().enumerate().skip(1) {
@@ -275,14 +290,33 @@ impl BufferPool {
         } else {
             drop(inner);
             let mut buf = self.data[slot].write();
-            self.layer.read_page(clk, pid, assigned, buf.as_mut_slice());
+            let read = self.layer.read_page(clk, pid, assigned, buf.as_mut_slice());
+            drop(buf);
+            if let Err(e) = read {
+                self.abandon_install(slot, pid);
+                return Err(e);
+            }
         }
 
-        PageGuard {
+        Ok(PageGuard {
             pool: self,
             slot,
             pid,
-        }
+        })
+    }
+
+    /// Back out a miss installation whose read from below failed: the map
+    /// entry, frame metadata, and replacement state all revert, returning
+    /// the slot to the free list.
+    fn abandon_install(&self, slot: usize, pid: PageId) {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.meta[slot].pid, Some(pid));
+        inner.map.remove(&pid);
+        inner.meta[slot] = FrameMeta::empty();
+        inner.lru.reset(slot);
+        inner.free.push(slot);
+        // Stale heap entries for this slot are revalidated (and skipped)
+        // by `select_victim`, so they need no eager cleanup here.
     }
 
     /// Pin a *fresh* page that has never been written: installs a zeroed,
@@ -316,12 +350,14 @@ impl BufferPool {
 
     /// Read-ahead: fetch the run `first .. first + n` below and install any
     /// pages not already resident, unpinned and classified *sequential*.
-    pub fn prefetch_run(&self, clk: &mut Clk, first: PageId, n: u64) {
+    pub fn prefetch_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Result<(), IoError> {
         assert!(first.0 + n <= self.cfg.db_pages, "prefetch beyond database");
         if n == 0 {
-            return;
+            return Ok(());
         }
-        let pages = self.layer.read_run(clk, first, n);
+        // A failed read-ahead installs nothing; the scan that requested it
+        // simply falls back to demand reads of the same pages.
+        let pages = self.layer.read_run(clk, first, n)?;
         let mut inner = self.inner.lock();
         // Pages of this run evicted *while installing it*: their entries in
         // `pages` were snapshotted before the eviction wrote newer bytes
@@ -360,6 +396,7 @@ impl BufferPool {
             inner.stats.prefetched_pages += 1;
             self.data[slot].write().copy_from(page.as_slice());
         }
+        Ok(())
     }
 
     /// Obtain a free slot, evicting the LRU-2 victim if necessary. The
@@ -548,13 +585,13 @@ mod tests {
         let (_io, p) = pool(4, 64);
         let mut clk = Clk::new();
         {
-            let g = p.get(&mut clk, PageId(1), Locality::Random);
+            let g = p.get(&mut clk, PageId(1), Locality::Random).unwrap();
             assert_eq!(g.pid(), PageId(1));
         }
         let t_after_miss = clk.now;
         assert!(t_after_miss > 0);
         {
-            let _g = p.get(&mut clk, PageId(1), Locality::Random);
+            let _g = p.get(&mut clk, PageId(1), Locality::Random).unwrap();
         }
         assert_eq!(clk.now, t_after_miss, "hit is free of I/O time");
         let s = p.stats();
@@ -566,16 +603,16 @@ mod tests {
         let (_io, p) = pool(2, 64);
         let mut clk = Clk::new();
         {
-            let mut g = p.get(&mut clk, PageId(0), Locality::Random);
+            let mut g = p.get(&mut clk, PageId(0), Locality::Random).unwrap();
             g.write(clk.now, |b| b[0] = 0xEE);
         }
         // Force page 0 out with two more pages.
-        p.get(&mut clk, PageId(1), Locality::Random);
-        p.get(&mut clk, PageId(2), Locality::Random);
+        p.get(&mut clk, PageId(1), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(2), Locality::Random).unwrap();
         assert!(!p.contains(PageId(0)));
         assert_eq!(p.stats().evictions_dirty, 1);
         // Re-read from disk: the dirty eviction wrote it back.
-        let g = p.get(&mut clk, PageId(0), Locality::Random);
+        let g = p.get(&mut clk, PageId(0), Locality::Random).unwrap();
         assert_eq!(g.read(|b| b[0]), 0xEE);
     }
 
@@ -584,12 +621,12 @@ mod tests {
         let (_io, p) = pool(3, 64);
         let mut clk = Clk::new();
         // Page 0 is hot (touched twice), pages 1 and 2 touched once.
-        p.get(&mut clk, PageId(0), Locality::Random);
-        p.get(&mut clk, PageId(0), Locality::Random);
-        p.get(&mut clk, PageId(1), Locality::Random);
-        p.get(&mut clk, PageId(2), Locality::Random);
+        p.get(&mut clk, PageId(0), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(0), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(1), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(2), Locality::Random).unwrap();
         // Pool full; a new page must evict 1 or 2, not the hot page 0.
-        p.get(&mut clk, PageId(3), Locality::Random);
+        p.get(&mut clk, PageId(3), Locality::Random).unwrap();
         assert!(p.contains(PageId(0)));
         assert!(!p.contains(PageId(1)), "oldest once-touched page evicted");
     }
@@ -598,9 +635,9 @@ mod tests {
     fn pinned_pages_are_never_victims() {
         let (_io, p) = pool(2, 64);
         let mut clk = Clk::new();
-        let _held = p.get(&mut clk, PageId(0), Locality::Random);
-        p.get(&mut clk, PageId(1), Locality::Random);
-        p.get(&mut clk, PageId(2), Locality::Random); // must evict 1, not 0
+        let _held = p.get(&mut clk, PageId(0), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(1), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(2), Locality::Random).unwrap(); // must evict 1, not 0
         assert!(p.contains(PageId(0)));
         assert!(!p.contains(PageId(1)));
     }
@@ -610,8 +647,8 @@ mod tests {
     fn all_pinned_pool_panics() {
         let (_io, p) = pool(1, 64);
         let mut clk = Clk::new();
-        let _g = p.get(&mut clk, PageId(0), Locality::Random);
-        let _h = p.get(&mut clk, PageId(1), Locality::Random);
+        let _g = p.get(&mut clk, PageId(0), Locality::Random).unwrap();
+        let _h = p.get(&mut clk, PageId(1), Locality::Random).unwrap();
     }
 
     #[test]
@@ -627,13 +664,13 @@ mod tests {
     fn prefetch_installs_unpinned_sequential_pages() {
         let (io, p) = pool(8, 64);
         let mut clk = Clk::new();
-        p.prefetch_run(&mut clk, PageId(0), 4);
+        p.prefetch_run(&mut clk, PageId(0), 4).unwrap();
         assert_eq!(p.resident(), 4);
         assert_eq!(p.stats().prefetched_pages, 4);
         // One multi-page request, not four single reads.
         assert!(io.disk_stats().read_ops <= 4);
         let before = p.stats().misses;
-        p.get(&mut clk, PageId(2), Locality::Sequential);
+        p.get(&mut clk, PageId(2), Locality::Sequential).unwrap();
         assert_eq!(p.stats().misses, before, "prefetched page is a hit");
     }
 
@@ -649,19 +686,19 @@ mod tests {
         // LRU-2 victim; pages 8..11 (outside the run) fill the remaining
         // frames so the stale install would stay resident afterwards.
         {
-            let mut g = p.get(&mut clk, PageId(5), Locality::Random);
+            let mut g = p.get(&mut clk, PageId(5), Locality::Random).unwrap();
             g.write(clk.now, |b| b[0] = 0xAB);
         }
         for pid in 8..11u64 {
-            let mut g = p.get(&mut clk, PageId(pid), Locality::Random);
+            let mut g = p.get(&mut clk, PageId(pid), Locality::Random).unwrap();
             g.write(clk.now, |b| b[0] = pid as u8);
         }
         assert_eq!(p.dirty_count(), 4);
         // Installing page 4 evicts dirty page 5 (writing 0xAB to disk);
         // page 5's slot in the run must then NOT be filled from the
         // pre-eviction snapshot (zeroes).
-        p.prefetch_run(&mut clk, PageId(4), 4);
-        let g = p.get(&mut clk, PageId(5), Locality::Random);
+        p.prefetch_run(&mut clk, PageId(4), 4).unwrap();
+        let g = p.get(&mut clk, PageId(5), Locality::Random).unwrap();
         g.read(|b| assert_eq!(b[0], 0xAB, "page 5 lost its committed write"));
     }
 
@@ -670,7 +707,7 @@ mod tests {
         let (io, p) = pool(4, 64);
         let mut clk = Clk::new();
         for i in 0..3u64 {
-            let mut g = p.get(&mut clk, PageId(i), Locality::Random);
+            let mut g = p.get(&mut clk, PageId(i), Locality::Random).unwrap();
             g.write(clk.now, |b| b[0] = i as u8 + 1);
         }
         assert_eq!(p.dirty_count(), 3);
@@ -692,7 +729,7 @@ mod tests {
         cfg.fill_expansion = 8;
         let p = BufferPool::new(cfg, layer);
         let mut clk = Clk::new();
-        p.get(&mut clk, PageId(10), Locality::Random);
+        p.get(&mut clk, PageId(10), Locality::Random).unwrap();
         // One miss installed 8 pages (1 requested + 7 expansion).
         assert_eq!(p.resident(), 8);
         assert_eq!(p.stats().expanded_fill_pages, 7);

@@ -160,17 +160,24 @@ impl ScanCursor {
     }
 
     /// Pin and return the next page of the scan, or `None` at the end.
+    /// `Some(Err(_))` reports a disk failure on the page at the cursor; the
+    /// cursor still advances, so the caller may skip or abort as it sees
+    /// fit and `next` stays well-defined either way.
     pub fn next<'a>(
         &mut self,
         clk: &mut Clk,
         pool: &'a BufferPool,
-    ) -> Option<crate::pool::PageGuard<'a>> {
+    ) -> Option<Result<crate::pool::PageGuard<'a>, turbopool_iosim::IoError>> {
         if self.pos >= self.end {
             return None;
         }
         if self.pos >= self.frontier {
             let n = self.window.min(self.end.0 - self.frontier.0);
-            pool.prefetch_run(clk, self.frontier, n);
+            // A failed read-ahead is not a scan failure: the frontier still
+            // advances and the pages are demand-read (and retried) below.
+            if pool.prefetch_run(clk, self.frontier, n).is_err() {
+                // Nothing was installed; `get` covers each page.
+            }
             self.frontier = self.frontier.offset(n);
         }
         let g = pool.get(clk, self.pos, Locality::Sequential);
@@ -207,6 +214,7 @@ mod tests {
         let mut cursor = ScanCursor::new(PageId(0), PageId(20), 8);
         let mut seen = Vec::new();
         while let Some(g) = cursor.next(&mut clk, &pool) {
+            let g = g.unwrap();
             seen.push(g.pid().0);
         }
         assert_eq!(seen, (0..20).collect::<Vec<_>>());
@@ -220,8 +228,8 @@ mod tests {
         let mut cursor = ScanCursor::new(PageId(0), PageId(16), 4);
         while cursor.next(&mut clk, &pool).is_some() {}
         // Random lookups far away.
-        pool.get(&mut clk, PageId(200), Locality::Random);
-        pool.get(&mut clk, PageId(100), Locality::Random);
+        pool.get(&mut clk, PageId(200), Locality::Random).unwrap();
+        pool.get(&mut clk, PageId(100), Locality::Random).unwrap();
         let s = pool.classifier_stats();
         assert_eq!(s.sequential_accuracy(), 1.0);
         assert_eq!(s.rand_as_seq, 0);
@@ -255,8 +263,8 @@ mod tests {
     fn proximity_classifier_mislabels_near_random_reads() {
         let pool = scan_pool(ClassifierKind::Proximity);
         let mut clk = Clk::new();
-        pool.get(&mut clk, PageId(100), Locality::Random);
-        pool.get(&mut clk, PageId(110), Locality::Random); // within 64 pages
+        pool.get(&mut clk, PageId(100), Locality::Random).unwrap();
+        pool.get(&mut clk, PageId(110), Locality::Random).unwrap(); // within 64 pages
         let s = pool.classifier_stats();
         assert_eq!(s.rand_as_seq, 1);
     }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
+use turbopool_iosim::{fault, Clk, IoError, IoManager, Locality, PageBuf, PageId, Time};
 
 /// Everything the buffer manager needs from the storage stack below it.
 ///
@@ -15,13 +15,24 @@ pub trait PageIo: Send + Sync {
     /// Read one page, from the SSD if cached there, else from disk. `class`
     /// is the buffer manager's random/sequential classification of this
     /// access (the SSD admission signal).
-    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]);
+    ///
+    /// SSD-side failures never surface here — implementations fall through
+    /// to disk (or recover the page) internally. An `Err` means the disk
+    /// tier itself failed after the standard capped-backoff retries, and
+    /// `buf` must not be used as page data.
+    fn read_page(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+        buf: &mut [u8],
+    ) -> Result<(), IoError>;
 
     /// Read the consecutive run `first .. first + n` (read-ahead / pool-fill
     /// expansion path). Implementations may trim leading/trailing pages that
     /// are SSD-resident (paper §3.3.3) but must return all `n` pages in
-    /// order.
-    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf>;
+    /// order. `Err` has the same meaning as in [`Self::read_page`].
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Result<Vec<PageBuf>, IoError>;
 
     /// A page was evicted from the memory pool. The implementation decides
     /// where it goes (SSD and/or disk) per its design; writes are
@@ -68,24 +79,48 @@ impl DirectIo {
 }
 
 impl PageIo for DirectIo {
-    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]) {
-        self.io.read_disk(clk, pid, buf, class);
+    fn read_page(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+        buf: &mut [u8],
+    ) -> Result<(), IoError> {
+        let (_attempts, out) = fault::retry_sync(clk, |c| self.io.read_disk(c, pid, buf, class));
+        out
     }
 
-    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf> {
-        self.io.read_disk_run(clk, first, n, Locality::Sequential)
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Result<Vec<PageBuf>, IoError> {
+        let (_attempts, out) = fault::retry_sync(clk, |c| {
+            self.io.read_disk_run(c, first, n, Locality::Sequential)
+        });
+        out
     }
 
     fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, _class: Locality) {
         if dirty {
-            self.io.write_disk_async(now, pid, data, Locality::Random);
+            if let Err(e) = fault::retry_write_forever(|| {
+                self.io.write_disk_async(now, pid, data, Locality::Random)
+            }) {
+                // Disk death below the noSSD baseline: the page cannot be
+                // persisted anywhere. Only a permanent error lands here; the
+                // IoManager records the lost write so later reads of this
+                // page surface the device error instead of fresh zeroes.
+                debug_assert!(!e.is_transient());
+            }
         }
     }
 
     fn note_dirtied(&self, _now: Time, _pid: PageId) {}
 
     fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) -> Time {
-        self.io.write_disk_async(now, pid, data, Locality::Random)
+        match fault::retry_write_forever(|| {
+            self.io.write_disk_async(now, pid, data, Locality::Random)
+        }) {
+            Ok(done) => done,
+            // Dead disk: nothing further will complete, so nothing to wait on.
+            Err(_) => now,
+        }
     }
 
     fn checkpoint_flush(&self, _clk: &mut Clk) {}
@@ -104,12 +139,42 @@ mod tests {
     #[test]
     fn read_page_goes_to_disk() {
         let (io, d) = direct();
-        io.write_disk_async(0, PageId(3), &[7u8; 32], Locality::Random);
+        io.write_disk_async(0, PageId(3), &[7u8; 32], Locality::Random)
+            .expect("no faults attached");
         let mut clk = Clk::new();
         let mut buf = [0u8; 32];
-        d.read_page(&mut clk, PageId(3), Locality::Random, &mut buf);
+        d.read_page(&mut clk, PageId(3), Locality::Random, &mut buf)
+            .expect("no faults attached");
         assert_eq!(buf[0], 7);
         assert!(clk.now > 0);
+    }
+
+    #[test]
+    fn transient_disk_read_errors_are_retried_away() {
+        use std::sync::Arc as StdArc;
+        use turbopool_iosim::{FaultConfig, FaultPlan};
+        let (io, d) = direct();
+        io.write_disk_async(0, PageId(2), &[4u8; 32], Locality::Random)
+            .expect("no faults attached");
+        io.set_disk_fault(Some(StdArc::new(FaultPlan::new(FaultConfig::transient(
+            9, 0.5,
+        )))));
+        let mut clk = Clk::new();
+        let mut buf = [0u8; 32];
+        let mut failures = 0usize;
+        for _ in 0..32 {
+            match d.read_page(&mut clk, PageId(2), Locality::Random, &mut buf) {
+                Ok(()) => assert_eq!(buf[0], 4),
+                Err(e) => {
+                    assert!(e.is_transient());
+                    failures += 1;
+                }
+            }
+        }
+        // p=0.5 per attempt, 6 attempts per read: a run of 32 reads clears
+        // virtually always, and injected errors definitely fired.
+        assert!(failures <= 2, "retry policy too weak: {failures} failures");
+        assert!(io.disk_fault().expect("attached").stats().read_errors > 0);
     }
 
     #[test]
@@ -125,7 +190,7 @@ mod tests {
     fn read_run_returns_all_pages() {
         let (_io, d) = direct();
         let mut clk = Clk::new();
-        let pages = d.read_run(&mut clk, PageId(0), 5);
+        let pages = d.read_run(&mut clk, PageId(0), 5).unwrap();
         assert_eq!(pages.len(), 5);
     }
 }

@@ -40,6 +40,10 @@ pub enum FrameState {
     /// TAC logical invalidation: the frame is occupied but its contents
     /// are stale and must never be served.
     Invalid,
+    /// Terminal state: the SSD was quarantined (device death or error
+    /// budget exhausted) with this page still cached. No further
+    /// transition is legal; the frame is unreachable forever.
+    Quarantined,
 }
 
 /// One observable transition of the buffer-table state machine.
@@ -69,6 +73,15 @@ pub enum AuditOp {
     /// TAC: a write-through (eviction or checkpoint) rewrote the SSD copy
     /// with the current contents, making it valid.
     Refresh,
+    /// The SSD was quarantined with this page still cached; the entry
+    /// enters the terminal [`FrameState::Quarantined`] state (legal from
+    /// any occupied state, under every design).
+    Quarantine,
+    /// The SSD copy failed checksum verification (torn write or bit-flip)
+    /// or became unreadable; the entry is dropped. Dirty copies can be
+    /// lost this way only under LC, which strands the page for WAL-tail
+    /// salvage.
+    CorruptInvalidate,
 }
 
 /// An illegal transition (or an illegal resulting state per Figure 3).
@@ -142,6 +155,18 @@ pub fn transition(
             (Tac, Some(Clean) | Some(Invalid)) => Ok(Some(Clean)),
             _ => illegal,
         },
+        AuditOp::Quarantine => match from {
+            // Quarantine freezes whatever was cached; an absent page has
+            // nothing to freeze and Quarantined itself is terminal.
+            Some(Clean) | Some(Dirty) | Some(Invalid) => Ok(Some(Quarantined)),
+            None | Some(Quarantined) => illegal,
+        },
+        AuditOp::CorruptInvalidate => match (design, from) {
+            (_, Some(Clean)) => Ok(None),
+            (Tac, Some(Invalid)) => Ok(None),
+            (LazyCleaning, Some(Dirty)) => Ok(None),
+            _ => illegal,
+        },
     }
 }
 
@@ -151,6 +176,7 @@ pub fn transition(
 /// table mutation through [`InvariantAuditor::observe`].
 #[derive(Debug)]
 pub struct InvariantAuditor {
+    #[cfg_attr(not(feature = "strict-invariants"), allow(dead_code))]
     design: SsdDesign,
     violations: AtomicU64,
     #[cfg(feature = "strict-invariants")]
@@ -187,7 +213,9 @@ impl InvariantAuditor {
             let ssd = match to {
                 Some(FrameState::Clean) => Some(1),
                 Some(FrameState::Dirty) => Some(2),
-                Some(FrameState::Invalid) | None => None,
+                // Invalid and Quarantined frames are never served, so for
+                // coherence purposes the SSD holds nothing.
+                Some(FrameState::Invalid) | Some(FrameState::Quarantined) | None => None,
             };
             match classify(self.design, None, ssd, 1) {
                 Ok(_) => Ok(to),
@@ -331,15 +359,73 @@ mod tests {
             AuditOp::Cancel,
             AuditOp::Clean,
             AuditOp::Refresh,
+            AuditOp::Quarantine,
+            AuditOp::CorruptInvalidate,
         ];
         for d in [CleanWrite, DualWrite, LazyCleaning, Tac] {
-            for from in [None, Some(Clean), Some(Dirty), Some(Invalid)] {
+            for from in [
+                None,
+                Some(Clean),
+                Some(Dirty),
+                Some(Invalid),
+                Some(Quarantined),
+            ] {
                 for op in ops {
                     if let Ok(Some(Dirty)) = transition(d, from, op) {
                         assert_eq!(d, LazyCleaning, "Dirty reachable only under LC");
                     }
+                    // Quarantined is terminal: no op may leave it.
+                    if from == Some(Quarantined) {
+                        assert!(
+                            transition(d, from, op).is_err(),
+                            "{d:?}/{op:?} escaped Quarantined"
+                        );
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn quarantine_is_terminal_from_every_occupied_state() {
+        for d in [CleanWrite, DualWrite, LazyCleaning, Tac] {
+            let a = InvariantAuditor::new(d);
+            let p = PageId(9);
+            a.observe(p, AuditOp::Admit { dirty: false }).unwrap();
+            a.observe(p, AuditOp::Quarantine).unwrap();
+            assert_eq!(a.state_of(p), Some(Quarantined), "{d:?}");
+            // Nothing — not even a fresh admission — revives the entry.
+            assert!(a.observe(p, AuditOp::Admit { dirty: false }).is_err());
+            assert!(a.observe(p, AuditOp::Quarantine).is_err());
+            assert!(a.observe(p, AuditOp::Invalidate).is_err());
+        }
+        // LC quarantines dirty frames too (the stranded-page case).
+        let a = InvariantAuditor::new(LazyCleaning);
+        a.observe(PageId(1), AuditOp::Admit { dirty: true })
+            .unwrap();
+        a.observe(PageId(1), AuditOp::Quarantine).unwrap();
+        assert_eq!(a.state_of(PageId(1)), Some(Quarantined));
+        // Quarantining an absent page is a violation.
+        let b = InvariantAuditor::new(CleanWrite);
+        assert!(b.observe(PageId(2), AuditOp::Quarantine).is_err());
+    }
+
+    #[test]
+    fn corrupt_invalidation_drops_the_entry() {
+        // Clean corruption is survivable under every design.
+        for d in [CleanWrite, DualWrite, LazyCleaning, Tac] {
+            let a = InvariantAuditor::new(d);
+            a.observe(PageId(4), AuditOp::Admit { dirty: false })
+                .unwrap();
+            assert!(a.observe(PageId(4), AuditOp::CorruptInvalidate).is_ok());
+            assert_eq!(a.state_of(PageId(4)), None, "{d:?}");
+            assert_eq!(a.violations(), 0, "{d:?}");
+        }
+        // A dirty (sole-copy) loss is expressible only under LC.
+        let a = InvariantAuditor::new(LazyCleaning);
+        a.observe(PageId(5), AuditOp::Admit { dirty: true })
+            .unwrap();
+        assert!(a.observe(PageId(5), AuditOp::CorruptInvalidate).is_ok());
+        assert_eq!(a.state_of(PageId(5)), None);
     }
 }

@@ -72,6 +72,11 @@ pub struct SsdConfig {
     /// SSD buffer table in each checkpoint record and re-import still-valid
     /// entries after a crash, skipping the multi-hour SSD ramp-up.
     pub warm_restart: bool,
+    /// Fault-tolerance extension: number of SSD I/O errors (transient,
+    /// checksum, or device-dead) tolerated before the manager quarantines
+    /// the SSD and degrades to the noSSD path. A `DeviceDead` error always
+    /// quarantines immediately regardless of the remaining budget.
+    pub ssd_error_budget: u64,
 }
 
 impl SsdConfig {
@@ -89,6 +94,7 @@ impl SsdConfig {
             tac_extent_pages: 32,
             multipage: MultiPageMode::Trim,
             warm_restart: false,
+            ssd_error_budget: 64,
         }
     }
 

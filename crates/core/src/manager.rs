@@ -8,12 +8,14 @@
 //! over the clean heap; dirty pages (LC only) are protected from
 //! replacement until the lazy cleaner or a checkpoint flushes them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use turbopool_bufpool::PageIo;
 use turbopool_iosim::sync::{Mutex, MutexGuard};
-use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
+use turbopool_iosim::{
+    fault, Clk, IoError, IoErrorKind, IoManager, Locality, PageBuf, PageId, Time,
+};
 
 use crate::audit::{AuditOp, InvariantAuditor};
 use crate::config::{MultiPageMode, SsdConfig, SsdDesign};
@@ -35,6 +37,14 @@ pub struct SsdManager {
     /// While `now` is before this instant, dirty evictions are not cached
     /// (LC pauses dirty admission during a sharp checkpoint, §3.2).
     pause_dirty_until: AtomicU64,
+    /// True once the SSD has been quarantined (device death or error
+    /// budget exhausted); every path then degrades to direct-to-disk.
+    quarantined: AtomicBool,
+    /// SSD I/O errors observed, charged against `cfg.ssd_error_budget`.
+    ssd_errors: AtomicU64,
+    /// Dirty pages whose sole (SSD) copy was lost to corruption or
+    /// quarantine, awaiting WAL-tail salvage by the engine.
+    stranded: Mutex<Vec<PageId>>,
     /// Counters for the evaluation harnesses.
     pub metrics: SsdMetrics,
     /// Shadow state machine validating every buffer-table transition.
@@ -71,8 +81,148 @@ impl SsdManager {
             occupancy: AtomicU64::new(0),
             dirty_total: AtomicU64::new(0),
             pause_dirty_until: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            ssd_errors: AtomicU64::new(0),
+            stranded: Mutex::new(Vec::new()),
             metrics: SsdMetrics::default(),
             auditor,
+        }
+    }
+
+    /// True once the SSD is quarantined and the manager runs degraded
+    /// (every subsequent request takes the direct-to-disk path).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Drain the list of dirty pages whose sole (SSD) copy was lost. The
+    /// engine must replay the committed WAL tail onto disk before trusting
+    /// the disk image of these pages again.
+    pub fn take_stranded(&self) -> Vec<PageId> {
+        std::mem::take(&mut *self.stranded.lock())
+    }
+
+    /// True while `pid` is queued for WAL salvage: its disk image is stale
+    /// (or nonexistent), so serving it from disk would silently return the
+    /// wrong bytes. Reads of such pages must error instead, which routes
+    /// the caller through [`SsdManager::take_stranded`] + salvage first.
+    fn is_stranded(&self, pid: PageId) -> bool {
+        self.stranded.lock().contains(&pid)
+    }
+
+    /// The error returned for reads of stranded-pending pages.
+    fn stranded_err(&self, at: Time) -> IoError {
+        IoError::new(fault::FaultDevice::Ssd, IoErrorKind::DeviceDead, at)
+    }
+
+    /// Record one SSD I/O error; quarantine on device death or once the
+    /// error budget is exhausted. Must not be called while a partition
+    /// latch is held (quarantine sweeps every partition).
+    fn note_ssd_error(&self, e: &IoError) {
+        SsdMetrics::bump(&self.metrics.ssd_io_errors);
+        if e.kind == IoErrorKind::ChecksumMismatch {
+            SsdMetrics::bump(&self.metrics.checksum_misses);
+        }
+        let seen = self.ssd_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        if e.kind == IoErrorKind::DeviceDead || seen > self.cfg.ssd_error_budget {
+            self.quarantine();
+        }
+    }
+
+    /// Degrade to the noSSD path: drop the whole buffer table (each live
+    /// entry takes the terminal `Quarantine` transition), queue dirty
+    /// pages for WAL salvage, and refuse all future SSD traffic.
+    fn quarantine(&self) {
+        if self.quarantined.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        SsdMetrics::bump(&self.metrics.ssd_quarantined);
+        for p in &self.parts {
+            let mut part = p.lock();
+            let idxs: Vec<usize> = part.iter().map(|(idx, _)| idx).collect();
+            let mut recs = Vec::with_capacity(idxs.len());
+            for idx in idxs {
+                recs.push(part.remove(idx));
+            }
+            drop(part);
+            for rec in recs {
+                self.audit(rec.pid, AuditOp::Quarantine);
+                self.occupancy.fetch_sub(1, Ordering::Relaxed);
+                SsdMetrics::bump(&self.metrics.lost_frames);
+                if rec.dirty {
+                    self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+                    SsdMetrics::bump(&self.metrics.stranded_dirty);
+                    self.stranded.lock().push(rec.pid);
+                }
+            }
+        }
+    }
+
+    /// The SSD copy of `pid` is unusable: drop the table entry. A dirty
+    /// copy was the only current version of the page, so it is additionally
+    /// stranded for WAL salvage. No-op if quarantine already swept it.
+    fn drop_corrupt(&self, pid: PageId) {
+        let mut part = self.part(pid);
+        let Some(idx) = part.lookup(pid) else {
+            return;
+        };
+        let rec = part.remove(idx);
+        drop(part);
+        self.audit(pid, AuditOp::CorruptInvalidate);
+        self.occupancy.fetch_sub(1, Ordering::Relaxed);
+        SsdMetrics::bump(&self.metrics.lost_frames);
+        if rec.dirty {
+            self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+            SsdMetrics::bump(&self.metrics.stranded_dirty);
+            self.stranded.lock().push(pid);
+        }
+    }
+
+    /// SSD frame read with transient-error retries on `clk`. The final
+    /// error (checksum mismatch, device death, or retries exhausted) is
+    /// returned for the caller to classify.
+    fn ssd_read(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        let (_retries, out) = fault::retry_sync(clk, |c| self.io.read_ssd(c, frame, buf));
+        out
+    }
+
+    /// Synchronous disk read with the standard capped-backoff retry policy;
+    /// retry attempts are accounted in the metrics.
+    fn disk_read(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+        buf: &mut [u8],
+    ) -> Result<(), IoError> {
+        let (retries, out) = fault::retry_sync(clk, |c| self.io.read_disk(c, pid, buf, class));
+        SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
+        out
+    }
+
+    /// Multi-page disk read with the standard retry policy.
+    fn disk_read_run(
+        &self,
+        clk: &mut Clk,
+        first: PageId,
+        n: u64,
+        loc: Locality,
+    ) -> Result<Vec<PageBuf>, IoError> {
+        let (retries, out) = fault::retry_sync(clk, |c| self.io.read_disk_run(c, first, n, loc));
+        SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
+        out
+    }
+
+    /// Asynchronous disk write that must not drop data: transient errors
+    /// retry without bound; only a dead disk — unrecoverable by any policy
+    /// — falls through, and then there is nowhere left to persist to. The
+    /// IoManager records the lost write so later readers surface the
+    /// device error instead of treating the page as never-written.
+    fn disk_write(&self, now: Time, pid: PageId, data: &[u8]) {
+        if let Err(e) = fault::retry_write_forever(|| {
+            self.io.write_disk_async(now, pid, data, Locality::Random)
+        }) {
+            debug_assert!(!e.is_transient());
         }
     }
 
@@ -159,11 +309,26 @@ impl SsdManager {
     /// Cache `data` for `pid`, evicting an SSD victim if necessary.
     /// The caller has verified admission; this only handles placement.
     fn install(&self, now: Time, pid: PageId, data: &[u8], dirty: bool) {
+        if self.is_quarantined() {
+            if dirty {
+                self.disk_write(now, pid, data);
+            }
+            return;
+        }
+        let mut pending: Option<IoError> = None;
+        let mut reclaim_stranded: Option<PageId> = None;
         let mut part = self.part(pid);
-        if part.free_frames() == 0 && !self.reclaim_frame(now, &mut part) {
+        if part.free_frames() == 0
+            && !self.reclaim_frame(now, &mut part, &mut pending, &mut reclaim_stranded)
+        {
             // Nothing reclaimable in this partition (everything dirty and
-            // inline cleaning exhausted — cannot happen in practice, but do
-            // not wedge: just skip the admission).
+            // inline cleaning exhausted): skip the admission, but a dirty
+            // page must still land somewhere durable.
+            drop(part);
+            self.settle_reclaim(pending, reclaim_stranded);
+            if dirty {
+                self.disk_write(now, pid, data);
+            }
             return;
         }
         let stamp = self.next_stamp();
@@ -171,22 +336,68 @@ impl SsdManager {
         let idx = part.insert(pid, dirty, stamp).expect("frame available");
         let frame = part.frame_no(idx);
         drop(part);
-        self.audit(pid, AuditOp::Admit { dirty });
-        self.occupancy.fetch_add(1, Ordering::Relaxed);
-        if dirty {
-            self.dirty_total.fetch_add(1, Ordering::Relaxed);
+        // Write first, admit on success: a failed SSD write must not leave
+        // a table entry pointing at never-written frame bytes. (Torn and
+        // bit-flipped writes still return Ok — that is silent corruption,
+        // caught by the frame checksum on a later read.)
+        match self.io.write_ssd_async(now, frame, data, pid) {
+            Ok(_done) => {
+                self.audit(pid, AuditOp::Admit { dirty });
+                self.occupancy.fetch_add(1, Ordering::Relaxed);
+                if dirty {
+                    self.dirty_total.fetch_add(1, Ordering::Relaxed);
+                }
+                SsdMetrics::bump(&self.metrics.admissions);
+                if self.filling() {
+                    SsdMetrics::bump(&self.metrics.fill_admissions);
+                }
+            }
+            Err(e) => {
+                // Back the insert out before the error accounting: if the
+                // budget trips, the quarantine sweep must not find (and
+                // audit) an entry that was never admitted.
+                let mut part = self.part(pid);
+                if let Some(idx) = part.lookup(pid) {
+                    part.remove(idx);
+                }
+                drop(part);
+                self.note_ssd_error(&e);
+                if dirty {
+                    self.disk_write(now, pid, data);
+                }
+            }
         }
-        SsdMetrics::bump(&self.metrics.admissions);
-        if self.filling() {
-            SsdMetrics::bump(&self.metrics.fill_admissions);
+        // Deferred reclaim accounting runs last: if it trips the budget,
+        // the quarantine sweep finds only properly-admitted entries.
+        self.settle_reclaim(pending, reclaim_stranded);
+    }
+
+    /// Flush bookkeeping deferred by [`Self::reclaim_frame`] (which runs
+    /// under the partition latch and therefore cannot touch the error
+    /// budget or the stranded queue itself).
+    fn settle_reclaim(&self, pending: Option<IoError>, stranded: Option<PageId>) {
+        if let Some(pid) = stranded {
+            self.stranded.lock().push(pid);
+            SsdMetrics::bump(&self.metrics.stranded_dirty);
+            SsdMetrics::bump(&self.metrics.lost_frames);
         }
-        self.io.write_ssd_async(now, frame, data, pid);
+        if let Some(e) = pending {
+            self.note_ssd_error(&e);
+        }
     }
 
     /// Free one frame in `part` by LRU-2 replacement from the clean heap;
     /// falls back to inline-cleaning the oldest dirty page when every page
-    /// is dirty (LC under extreme λ).
-    fn reclaim_frame(&self, now: Time, part: &mut Partition) -> bool {
+    /// is dirty (LC under extreme λ). Runs under the partition latch, so
+    /// SSD errors are reported back through `pending` / `stranded_out`
+    /// for the caller to settle after dropping the latch.
+    fn reclaim_frame(
+        &self,
+        now: Time,
+        part: &mut Partition,
+        pending: &mut Option<IoError>,
+        stranded_out: &mut Option<PageId>,
+    ) -> bool {
         if let Some((_, victim)) = part.peek_clean_victim() {
             let rec = part.remove(victim);
             self.audit(rec.pid, AuditOp::Replace);
@@ -201,14 +412,25 @@ impl SsdManager {
             let frame = part.frame_no(oldest);
             let mut buf = vec![0u8; self.io.page_size()];
             let mut tmp = Clk::at(now);
-            self.io.read_ssd(&mut tmp, frame, &mut buf);
-            self.io
-                .write_disk_async(tmp.now, rec.pid, &buf, Locality::Random);
-            part.remove(oldest);
-            self.audit(rec.pid, AuditOp::InlineClean);
+            match self.ssd_read(&mut tmp, frame, &mut buf) {
+                Ok(()) => {
+                    self.disk_write(tmp.now, rec.pid, &buf);
+                    part.remove(oldest);
+                    self.audit(rec.pid, AuditOp::InlineClean);
+                    SsdMetrics::bump(&self.metrics.inline_cleans);
+                }
+                Err(e) => {
+                    // The dirty victim's sole copy is unreadable: the frame
+                    // is still freed, but the page is stranded for WAL
+                    // salvage instead of cleaned to disk.
+                    part.remove(oldest);
+                    self.audit(rec.pid, AuditOp::CorruptInvalidate);
+                    *pending = Some(e);
+                    *stranded_out = Some(rec.pid);
+                }
+            }
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             self.dirty_total.fetch_sub(1, Ordering::Relaxed);
-            SsdMetrics::bump(&self.metrics.inline_cleans);
             SsdMetrics::bump(&self.metrics.replacements);
             return true;
         }
@@ -277,6 +499,9 @@ impl SsdManager {
     /// Called by [`crate::cleaner::LazyCleaner`] while the dirty count is
     /// above the λ high-water mark, and usable directly by tests.
     pub fn clean_batch(&self, clk: &mut Clk) -> usize {
+        if self.is_quarantined() {
+            return 0;
+        }
         // Globally oldest dirty page.
         let mut anchor: Option<(u64, u64, PageId)> = None;
         for p in &self.parts {
@@ -319,29 +544,85 @@ impl SsdManager {
         }
 
         // Read each page from the SSD into memory (no direct SSD→disk path
-        // exists, §2.4), mark it clean, then write the run to disk as a
-        // single I/O.
+        // exists, §2.4), write the gathered pages to disk, and only then
+        // mark them clean — a page whose read or write fails must stay
+        // dirty (or be stranded) rather than silently lose its contents.
+        let mut pids: Vec<PageId> = Vec::with_capacity(count as usize);
         let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
         for i in 0..count {
             let pid = lo.offset(i);
-            let mut part = self.part(pid);
-            // lint: allow(panic) — pid was gathered under this partition's latch and nothing removes between.
-            let idx = part.lookup(pid).expect("gathered page still cached");
-            let frame = part.frame_no(idx);
-            part.set_clean(idx);
-            drop(part);
-            self.audit(pid, AuditOp::Clean);
-            self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+            let frame = {
+                let part = self.part(pid);
+                let Some(idx) = part.lookup(pid) else {
+                    // A quarantine sweep (triggered by an earlier read in
+                    // this very batch) may have emptied the table.
+                    continue;
+                };
+                part.frame_no(idx)
+            };
             let mut buf = vec![0u8; self.io.page_size()];
-            self.io.read_ssd(clk, frame, &mut buf);
-            bufs.push(buf);
+            match self.ssd_read(clk, frame, &mut buf) {
+                Ok(()) => {
+                    pids.push(pid);
+                    bufs.push(buf);
+                }
+                Err(e) => {
+                    self.note_ssd_error(&e);
+                    self.drop_corrupt(pid);
+                }
+            }
         }
-        let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
-        let done = self.io.write_disk_run_async(clk.now, lo, &slices);
-        clk.wait_until(done);
-        SsdMetrics::add(&self.metrics.cleaned_pages, count);
-        SsdMetrics::bump(&self.metrics.cleaner_writes);
-        count as usize
+        let (cleaned, writes) = self.flush_gathered(clk, &pids, &bufs);
+        SsdMetrics::add(&self.metrics.cleaned_pages, cleaned as u64);
+        SsdMetrics::add(&self.metrics.cleaner_writes, writes as u64);
+        cleaned
+    }
+
+    /// Write the gathered `(pid, buf)` pages to disk in consecutive-pid
+    /// runs, waiting out each write, and mark every written page clean.
+    /// Returns `(pages cleaned, run writes issued)`. Pages are left dirty
+    /// when the disk is dead (nothing can persist them).
+    fn flush_gathered(&self, clk: &mut Clk, pids: &[PageId], bufs: &[Vec<u8>]) -> (usize, usize) {
+        let mut cleaned = 0usize;
+        let mut writes = 0usize;
+        let mut i = 0usize;
+        while i < pids.len() {
+            let mut j = i + 1;
+            while j < pids.len() && pids[j].0 == pids[j - 1].0 + 1 {
+                j += 1;
+            }
+            let slices: Vec<&[u8]> = bufs[i..j].iter().map(|b| b.as_slice()).collect();
+            match fault::retry_write_forever(|| {
+                self.io.write_disk_run_async(clk.now, pids[i], &slices)
+            }) {
+                Ok(done) => {
+                    clk.wait_until(done);
+                    writes += 1;
+                    for pid in &pids[i..j] {
+                        let mut was_dirty = false;
+                        let mut part = self.part(*pid);
+                        if let Some(idx) = part.lookup(*pid) {
+                            if part.record(idx).dirty {
+                                part.set_clean(idx);
+                                was_dirty = true;
+                            }
+                        }
+                        drop(part);
+                        if was_dirty {
+                            self.audit(*pid, AuditOp::Clean);
+                            self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+                            cleaned += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Dead disk: the pages stay dirty on the SSD and there
+                    // is no completion to wait on.
+                }
+            }
+            i = j;
+        }
+        (cleaned, writes)
     }
 
     /// Plan entry for one page of a multi-page request.
@@ -352,49 +633,124 @@ impl SsdManager {
     }
 
     /// Read one page from its SSD frame onto a temporary clock starting at
-    /// `start`; returns the completion time.
-    fn ssd_read_into(&self, start: Time, pid: PageId, frame: u64, buf: &mut [u8]) -> Time {
+    /// `start`; returns the completion time. On SSD failure the entry is
+    /// dropped: a clean copy falls back to a single-page disk read, a
+    /// dirty (sole-copy) loss propagates so the engine can WAL-salvage.
+    fn patch_from_ssd(
+        &self,
+        start: Time,
+        pid: PageId,
+        frame: u64,
+        dirty: bool,
+        buf: &mut [u8],
+    ) -> Result<Time, IoError> {
         let mut tmp = Clk::at(start);
-        self.io.read_ssd(&mut tmp, frame, buf);
-        let mut part = self.part(pid);
-        if let Some(idx) = part.lookup(pid) {
-            let stamp = self.next_stamp();
-            part.touch(idx, stamp);
+        match self.ssd_read(&mut tmp, frame, buf) {
+            Ok(()) => {
+                let mut part = self.part(pid);
+                if let Some(idx) = part.lookup(pid) {
+                    let stamp = self.next_stamp();
+                    part.touch(idx, stamp);
+                }
+                SsdMetrics::bump(&self.metrics.ssd_hits);
+                Ok(tmp.now)
+            }
+            Err(e) => {
+                self.note_ssd_error(&e);
+                self.drop_corrupt(pid);
+                if dirty {
+                    return Err(e);
+                }
+                let mut tmp = Clk::at(start);
+                self.disk_read(&mut tmp, pid, Locality::Random, buf)?;
+                Ok(tmp.now)
+            }
         }
-        SsdMetrics::bump(&self.metrics.ssd_hits);
-        tmp.now
     }
 }
 
 impl PageIo for SsdManager {
-    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]) {
-        let mut part = self.part(pid);
-        if let Some(idx) = part.lookup(pid) {
-            let dirty = part.record(idx).dirty;
-            // Throttle control (§3.3.2): skip the SSD when overloaded —
-            // unless its copy is newer than disk, which must be read from
-            // the SSD for correctness.
-            if dirty || !self.throttled(clk.now) {
-                let stamp = self.next_stamp();
-                part.touch(idx, stamp);
-                let frame = part.frame_no(idx);
-                drop(part);
-                self.io.read_ssd(clk, frame, buf);
-                SsdMetrics::bump(&self.metrics.ssd_hits);
-                if dirty {
-                    SsdMetrics::bump(&self.metrics.dirty_hits);
-                }
-                return;
+    fn read_page(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+        buf: &mut [u8],
+    ) -> Result<(), IoError> {
+        if self.is_quarantined() {
+            if self.is_stranded(pid) {
+                // The disk image is stale until the WAL tail is replayed;
+                // serving it would silently lose committed writes.
+                return Err(self.stranded_err(clk.now));
             }
-            SsdMetrics::bump(&self.metrics.throttled_reads);
+            SsdMetrics::bump(&self.metrics.quarantined_reads);
+            SsdMetrics::bump(&self.metrics.ssd_misses);
+            return self.disk_read(clk, pid, class, buf);
         }
-        drop(part);
+        let hit: Option<(u64, bool)> = {
+            let mut part = self.part(pid);
+            match part.lookup(pid) {
+                Some(idx) => {
+                    let dirty = part.record(idx).dirty;
+                    // Throttle control (§3.3.2): skip the SSD when
+                    // overloaded — unless its copy is newer than disk,
+                    // which must be read from the SSD for correctness.
+                    if dirty || !self.throttled(clk.now) {
+                        let stamp = self.next_stamp();
+                        part.touch(idx, stamp);
+                        Some((part.frame_no(idx), dirty))
+                    } else {
+                        SsdMetrics::bump(&self.metrics.throttled_reads);
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some((frame, dirty)) = hit {
+            match self.ssd_read(clk, frame, buf) {
+                Ok(()) => {
+                    SsdMetrics::bump(&self.metrics.ssd_hits);
+                    if dirty {
+                        SsdMetrics::bump(&self.metrics.dirty_hits);
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.note_ssd_error(&e);
+                    self.drop_corrupt(pid);
+                    if dirty {
+                        // The sole current copy is gone; the engine must
+                        // replay the WAL tail before re-reading from disk.
+                        return Err(e);
+                    }
+                    // A clean copy is replaceable: fall through to disk.
+                }
+            }
+        }
+        if self.is_stranded(pid) {
+            // Stranded by an earlier failure (without quarantine): the disk
+            // image is stale until the WAL tail is replayed.
+            return Err(self.stranded_err(clk.now));
+        }
         SsdMetrics::bump(&self.metrics.ssd_misses);
-        self.io.read_disk(clk, pid, buf, class);
+        self.disk_read(clk, pid, class, buf)
     }
 
-    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf> {
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Result<Vec<PageBuf>, IoError> {
         assert!(n > 0);
+        for i in 0..n {
+            if self.is_stranded(first.offset(i)) {
+                // At least one page of the run awaits WAL salvage; fail
+                // the whole request so the engine salvages and retries.
+                return Err(self.stranded_err(clk.now));
+            }
+        }
+        if self.is_quarantined() {
+            // The table is empty, so every page below reads from disk; the
+            // counter records the degradation for the harnesses.
+            SsdMetrics::bump(&self.metrics.quarantined_reads);
+        }
         let ps = self.io.page_size();
         let mut out: Vec<PageBuf> = (0..n).map(|_| PageBuf::zeroed(ps)).collect();
         let status: Vec<Option<(u64, bool)>> =
@@ -424,12 +780,12 @@ impl PageIo for SsdManager {
                 let mid = lead..(n as usize - trail);
                 if !mid.is_empty() {
                     let mut tmp = Clk::at(now0);
-                    let pages = self.io.read_disk_run(
+                    let pages = self.disk_read_run(
                         &mut tmp,
                         first.offset(mid.start as u64),
                         mid.len() as u64,
                         Locality::Sequential,
-                    );
+                    )?;
                     done = done.max(tmp.now);
                     for (k, page) in pages.into_iter().enumerate() {
                         out[mid.start + k] = page;
@@ -442,7 +798,13 @@ impl PageIo for SsdManager {
                         Some((frame, dirty)) if in_ends || dirty => {
                             // Trimmed end page, or a newer-than-disk middle
                             // page that must come from the SSD.
-                            let t = self.ssd_read_into(now0, pid, frame, out[i].as_mut_slice());
+                            let t = self.patch_from_ssd(
+                                now0,
+                                pid,
+                                frame,
+                                dirty,
+                                out[i].as_mut_slice(),
+                            )?;
                             done = done.max(t);
                         }
                         _ => {}
@@ -459,7 +821,13 @@ impl PageIo for SsdManager {
                     match status[i] {
                         Some((frame, dirty)) if dirty || !throttled => {
                             let pid = first.offset(i as u64);
-                            let t = self.ssd_read_into(now0, pid, frame, out[i].as_mut_slice());
+                            let t = self.patch_from_ssd(
+                                now0,
+                                pid,
+                                frame,
+                                dirty,
+                                out[i].as_mut_slice(),
+                            )?;
                             done = done.max(t);
                             i += 1;
                         }
@@ -471,12 +839,12 @@ impl PageIo for SsdManager {
                                 i += 1;
                             }
                             let mut tmp = Clk::at(now0);
-                            let pages = self.io.read_disk_run(
+                            let pages = self.disk_read_run(
                                 &mut tmp,
                                 first.offset(seg_start as u64),
                                 (i - seg_start) as u64,
                                 Locality::Random,
-                            );
+                            )?;
                             done = done.max(tmp.now);
                             for (k, page) in pages.into_iter().enumerate() {
                                 out[seg_start + k] = page;
@@ -487,9 +855,7 @@ impl PageIo for SsdManager {
             }
             MultiPageMode::DiskOnly => {
                 let mut tmp = Clk::at(now0);
-                let pages = self
-                    .io
-                    .read_disk_run(&mut tmp, first, n, Locality::Sequential);
+                let pages = self.disk_read_run(&mut tmp, first, n, Locality::Sequential)?;
                 done = done.max(tmp.now);
                 for (k, page) in pages.into_iter().enumerate() {
                     out[k] = page;
@@ -499,17 +865,25 @@ impl PageIo for SsdManager {
                 for i in 0..n as usize {
                     if let Some((frame, true)) = status[i] {
                         let pid = first.offset(i as u64);
-                        let t = self.ssd_read_into(now0, pid, frame, out[i].as_mut_slice());
+                        let t =
+                            self.patch_from_ssd(now0, pid, frame, true, out[i].as_mut_slice())?;
                         done = done.max(t);
                     }
                 }
             }
         }
         clk.wait_until(done);
-        out
+        Ok(out)
     }
 
     fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, class: Locality) {
+        if self.is_quarantined() {
+            // Degraded noSSD path: dirty evictions go straight to disk.
+            if dirty {
+                self.disk_write(now, pid, data);
+            }
+            return;
+        }
         {
             let part = self.part(pid);
             if let Some(idx) = part.lookup(pid) {
@@ -525,7 +899,7 @@ impl PageIo for SsdManager {
         if !admit_class {
             SsdMetrics::bump(&self.metrics.policy_rejections);
             if dirty {
-                self.io.write_disk_async(now, pid, data, Locality::Random);
+                self.disk_write(now, pid, data);
             }
             return;
         }
@@ -538,7 +912,7 @@ impl PageIo for SsdManager {
             SsdDesign::CleanWrite => {
                 if dirty {
                     // CW never caches dirty pages (§2.3.1).
-                    self.io.write_disk_async(now, pid, data, Locality::Random);
+                    self.disk_write(now, pid, data);
                 } else if !throttled {
                     self.install(now, pid, data, false);
                 }
@@ -546,7 +920,7 @@ impl PageIo for SsdManager {
             SsdDesign::DualWrite => {
                 // Write-through: dirty pages go to both places (§2.3.2).
                 if dirty {
-                    self.io.write_disk_async(now, pid, data, Locality::Random);
+                    self.disk_write(now, pid, data);
                 }
                 if !throttled {
                     self.install(now, pid, data, false);
@@ -555,7 +929,7 @@ impl PageIo for SsdManager {
             SsdDesign::LazyCleaning => {
                 let paused = now < self.pause_dirty_until.load(Ordering::Relaxed);
                 if dirty && (throttled || paused) {
-                    self.io.write_disk_async(now, pid, data, Locality::Random);
+                    self.disk_write(now, pid, data);
                 } else if !throttled {
                     // Write-back: the SSD receives the only current copy of
                     // a dirty page (§2.3.3). WAL ordering is the engine's
@@ -586,11 +960,18 @@ impl PageIo for SsdManager {
     }
 
     fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], class: Locality) -> Time {
-        let done = self.io.write_disk_async(now, pid, data, Locality::Random);
+        let done = match fault::retry_write_forever(|| {
+            self.io.write_disk_async(now, pid, data, Locality::Random)
+        }) {
+            Ok(t) => t,
+            // A dead disk completes nothing; there is nothing to wait on.
+            Err(_) => now,
+        };
         // DW extension (§3.2): during a checkpoint, random-class dirty
         // pages are written to the SSD as well, filling it faster.
         if self.cfg.design == SsdDesign::DualWrite
             && class == Locality::Random
+            && !self.is_quarantined()
             && !self.throttled(now)
         {
             let cached = {
@@ -605,7 +986,7 @@ impl PageIo for SsdManager {
     }
 
     fn checkpoint_flush(&self, clk: &mut Clk) {
-        if self.cfg.design != SsdDesign::LazyCleaning {
+        if self.cfg.design != SsdDesign::LazyCleaning || self.is_quarantined() {
             return;
         }
         // Sharp checkpoint: every dirty SSD page goes to disk (§3.2).
@@ -615,9 +996,11 @@ impl PageIo for SsdManager {
             dirty_pids.extend(part.iter().filter(|(_, r)| r.dirty).map(|(_, r)| r.pid));
         }
         dirty_pids.sort_unstable();
-        let total = dirty_pids.len() as u64;
 
         // Flush in consecutive-pid group-cleaning batches of up to α pages.
+        // As in `clean_batch`, pages are marked clean only after their disk
+        // write succeeds; an unreadable SSD copy strands the page instead.
+        let mut total = 0usize;
         let mut i = 0usize;
         while i < dirty_pids.len() {
             let mut j = i + 1;
@@ -627,28 +1010,35 @@ impl PageIo for SsdManager {
             {
                 j += 1;
             }
+            let mut pids: Vec<PageId> = Vec::with_capacity(j - i);
             let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(j - i);
             for pid in &dirty_pids[i..j] {
-                let mut part = self.part(*pid);
-                // lint: allow(panic) — pid was gathered under this partition's latch and nothing removes between.
-                let idx = part.lookup(*pid).expect("dirty page still cached");
-                let frame = part.frame_no(idx);
-                part.set_clean(idx);
-                drop(part);
-                self.audit(*pid, AuditOp::Clean);
-                self.dirty_total.fetch_sub(1, Ordering::Relaxed);
+                let frame = {
+                    let part = self.part(*pid);
+                    let Some(idx) = part.lookup(*pid) else {
+                        // Swept by a quarantine triggered earlier in this
+                        // same flush.
+                        continue;
+                    };
+                    part.frame_no(idx)
+                };
                 let mut buf = vec![0u8; self.io.page_size()];
-                self.io.read_ssd(clk, frame, &mut buf);
-                bufs.push(buf);
+                match self.ssd_read(clk, frame, &mut buf) {
+                    Ok(()) => {
+                        pids.push(*pid);
+                        bufs.push(buf);
+                    }
+                    Err(e) => {
+                        self.note_ssd_error(&e);
+                        self.drop_corrupt(*pid);
+                    }
+                }
             }
-            let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
-            let done = self
-                .io
-                .write_disk_run_async(clk.now, dirty_pids[i], &slices);
-            clk.wait_until(done);
+            let (cleaned, _writes) = self.flush_gathered(clk, &pids, &bufs);
+            total += cleaned;
             i = j;
         }
-        SsdMetrics::add(&self.metrics.checkpoint_cleaned, total);
+        SsdMetrics::add(&self.metrics.checkpoint_cleaned, total as u64);
     }
 
     fn has_copy(&self, pid: PageId) -> bool {
@@ -692,7 +1082,8 @@ mod tests {
         assert_eq!(m.occupancy(), 1);
         let mut clk = Clk::new();
         let mut buf = page(0);
-        m.read_page(&mut clk, PageId(5), Locality::Random, &mut buf);
+        m.read_page(&mut clk, PageId(5), Locality::Random, &mut buf)
+            .unwrap();
         assert_eq!(buf[0], 0xA5);
         assert_eq!(m.metrics.snapshot().ssd_hits, 1);
         // The hit was served by the SSD device, not the disks.
@@ -768,7 +1159,8 @@ mod tests {
         let mut clk = Clk::new();
         let mut buf = page(0);
         for i in 1..16u64 {
-            m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf);
+            m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf)
+                .unwrap();
         }
         m.evict_page(clk.now, PageId(100), &page(0xFF), false, Locality::Random);
         assert_eq!(m.occupancy(), 16, "replacement kept occupancy constant");
@@ -817,7 +1209,8 @@ mod tests {
         let mut hits = 0;
         for i in 0..100u64 {
             if m.contains(PageId(i)) {
-                m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf);
+                m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf)
+                    .unwrap();
                 assert_eq!(buf[0], i as u8, "cached copy must match");
                 hits += 1;
             }
@@ -921,11 +1314,12 @@ mod tests {
             );
         }
         for pid in 1..=4u64 {
-            io.write_disk_async(0, PageId(pid), &page(pid as u8 + 1), Locality::Random);
+            io.write_disk_async(0, PageId(pid), &page(pid as u8 + 1), Locality::Random)
+                .unwrap();
         }
         io.reset_stats();
         let mut clk = Clk::new();
-        let pages = m.read_run(&mut clk, PageId(0), 6);
+        let pages = m.read_run(&mut clk, PageId(0), 6).unwrap();
         for (i, p) in pages.iter().enumerate() {
             assert_eq!(p.as_slice()[0], i as u8 + 1, "page {i} content");
         }
@@ -941,11 +1335,12 @@ mod tests {
         // Disk has old versions of pages 0..4; page 2 has a NEWER dirty
         // copy in the SSD.
         for pid in 0..5u64 {
-            io.write_disk_async(0, PageId(pid), &page(0x0A), Locality::Random);
+            io.write_disk_async(0, PageId(pid), &page(0x0A), Locality::Random)
+                .unwrap();
         }
         m.evict_page(0, PageId(2), &page(0xBB), true, Locality::Random);
         let mut clk = Clk::new();
-        let pages = m.read_run(&mut clk, PageId(0), 5);
+        let pages = m.read_run(&mut clk, PageId(0), 5).unwrap();
         assert_eq!(pages[2].as_slice()[0], 0xBB, "must see the newer version");
         assert_eq!(pages[1].as_slice()[0], 0x0A);
     }
@@ -963,7 +1358,7 @@ mod tests {
             m.evict_page(0, PageId(2), &page(1), false, Locality::Random);
             m.evict_page(0, PageId(4), &page(1), false, Locality::Random);
             let mut clk = Clk::new();
-            m.read_run(&mut clk, PageId(0), 8);
+            m.read_run(&mut clk, PageId(0), 8).unwrap();
             clk.now
         };
         let trim = run_time(MultiPageMode::Trim);
@@ -989,5 +1384,143 @@ mod tests {
         assert_eq!(m.metrics.snapshot().inline_cleans, 1);
         assert_eq!(m.occupancy(), 4);
         assert!(m.is_dirty(PageId(999)));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use turbopool_iosim::fault::{FaultConfig, FaultPlan};
+
+    #[test]
+    fn ssd_death_quarantines_and_degrades_to_disk() {
+        let (io, m) = mk(SsdDesign::DualWrite, 16);
+        // Seed the disk and the SSD with the same page.
+        io.write_disk_async(0, PageId(5), &page(0xA5), Locality::Random)
+            .unwrap();
+        m.evict_page(0, PageId(5), &page(0xA5), false, Locality::Random);
+        assert!(m.contains(PageId(5)));
+        let plan = Arc::new(FaultPlan::new(FaultConfig::quiet(1)));
+        io.set_ssd_fault(Some(Arc::clone(&plan)));
+        plan.kill(1);
+        // The read sees the dead device, quarantines, and falls to disk —
+        // and still returns the correct bytes.
+        let mut clk = Clk::at(turbopool_iosim::SECOND);
+        let mut buf = page(0);
+        m.read_page(&mut clk, PageId(5), Locality::Random, &mut buf)
+            .unwrap();
+        assert_eq!(buf[0], 0xA5);
+        assert!(m.is_quarantined());
+        assert_eq!(m.occupancy(), 0, "table dropped at quarantine");
+        let s = m.metrics.snapshot();
+        assert_eq!(s.ssd_quarantined, 1);
+        assert!(s.ssd_io_errors >= 1);
+        assert_eq!(s.lost_frames, 1);
+        assert_eq!(s.stranded_dirty, 0, "DW strands nothing: write-through");
+        // Post-quarantine traffic bypasses the SSD entirely.
+        let ssd_writes = io.ssd_stats().write_ops;
+        m.evict_page(clk.now, PageId(7), &page(7), true, Locality::Random);
+        let mut buf = page(0);
+        m.read_page(&mut clk, PageId(7), Locality::Random, &mut buf)
+            .unwrap();
+        assert_eq!(buf[0], 7);
+        assert_eq!(io.ssd_stats().write_ops, ssd_writes);
+        assert!(m.metrics.snapshot().quarantined_reads >= 1);
+    }
+
+    #[test]
+    fn lc_death_strands_dirty_pages_for_salvage() {
+        let (io, m) = mk(SsdDesign::LazyCleaning, 16);
+        // A dirty eviction under LC puts the SOLE current copy on the SSD.
+        m.evict_page(0, PageId(3), &page(0x33), true, Locality::Random);
+        assert!(m.is_dirty(PageId(3)));
+        let plan = Arc::new(FaultPlan::new(FaultConfig::quiet(2)));
+        io.set_ssd_fault(Some(Arc::clone(&plan)));
+        plan.kill(1);
+        // The dirty hit cannot fall back to disk: the caller must salvage.
+        let mut clk = Clk::at(turbopool_iosim::SECOND);
+        let mut buf = page(0);
+        let err = m
+            .read_page(&mut clk, PageId(3), Locality::Random, &mut buf)
+            .unwrap_err();
+        assert_eq!(err.kind, IoErrorKind::DeviceDead);
+        assert!(m.is_quarantined());
+        assert_eq!(m.take_stranded(), vec![PageId(3)]);
+        assert!(m.take_stranded().is_empty(), "drained exactly once");
+        let s = m.metrics.snapshot();
+        assert_eq!(s.stranded_dirty, 1);
+        assert_eq!(s.lost_frames, 1);
+        assert_eq!(m.dirty_count(), 0);
+    }
+
+    #[test]
+    fn bitflip_corruption_is_caught_and_falls_back_to_disk() {
+        let (io, m) = mk(SsdDesign::DualWrite, 16);
+        io.write_disk_async(0, PageId(9), &page(0x42), Locality::Random)
+            .unwrap();
+        // Every SSD write silently flips one bit from here on.
+        let mut cfg = FaultConfig::quiet(3);
+        cfg.bitflip_prob = 1.0;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(cfg))));
+        m.evict_page(0, PageId(9), &page(0x42), false, Locality::Random);
+        assert!(m.contains(PageId(9)));
+        let mut clk = Clk::at(turbopool_iosim::SECOND);
+        let mut buf = page(0);
+        m.read_page(&mut clk, PageId(9), Locality::Random, &mut buf)
+            .unwrap();
+        // The checksum caught the corruption; the disk copy was served.
+        assert_eq!(buf, page(0x42));
+        let s = m.metrics.snapshot();
+        assert_eq!(s.checksum_misses, 1);
+        assert!(!m.contains(PageId(9)), "corrupt frame invalidated");
+        assert!(!m.is_quarantined(), "single error stays within budget");
+    }
+
+    #[test]
+    fn error_budget_exhaustion_quarantines() {
+        let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, 1024, 16)));
+        let mut cfg = SsdConfig::new(SsdDesign::DualWrite, 16);
+        cfg.partitions = 1;
+        cfg.ssd_error_budget = 2;
+        let m = SsdManager::new(cfg, Arc::clone(&io));
+        for i in 0..3u64 {
+            m.evict_page(0, PageId(i), &page(i as u8), false, Locality::Random);
+        }
+        // All SSD reads now fail (even after retries).
+        let mut fcfg = FaultConfig::quiet(4);
+        fcfg.read_error_prob = 1.0;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(fcfg))));
+        let mut clk = Clk::new();
+        let mut buf = page(0);
+        for i in 0..3u64 {
+            m.read_page(&mut clk, PageId(i), Locality::Random, &mut buf)
+                .unwrap();
+        }
+        // Third error exceeded the budget of 2.
+        assert!(m.is_quarantined());
+        assert_eq!(m.metrics.snapshot().ssd_io_errors, 3);
+    }
+
+    #[test]
+    fn transient_disk_errors_retry_with_backoff() {
+        let (io, m) = mk(SsdDesign::CleanWrite, 16);
+        io.write_disk_async(0, PageId(1), &page(0x11), Locality::Random)
+            .unwrap();
+        let mut fcfg = FaultConfig::quiet(7);
+        fcfg.read_error_prob = 0.25;
+        io.set_disk_fault(Some(Arc::new(FaultPlan::new(fcfg))));
+        let mut clk = Clk::new();
+        let mut buf = page(0);
+        // With p=0.25 and 5 retries a read fails ~1-in-4000; seed 7 is
+        // deterministic, so this either passes forever or never.
+        for _ in 0..16 {
+            m.read_page(&mut clk, PageId(1), Locality::Random, &mut buf)
+                .unwrap();
+            assert_eq!(buf[0], 0x11);
+        }
+        assert!(
+            m.metrics.snapshot().disk_retries > 0,
+            "some attempts must have been retried"
+        );
     }
 }

@@ -42,6 +42,27 @@ pub struct SsdMetrics {
     /// Buffer-table state-machine violations caught by the invariant
     /// auditor (always 0 unless the state machine itself is broken).
     pub audit_violations: AtomicU64,
+    /// SSD I/O operations that returned an error (transient, checksum, or
+    /// device-dead). Feeds the quarantine error budget.
+    pub ssd_io_errors: AtomicU64,
+    /// SSD frame reads whose contents failed checksum verification
+    /// (torn writes and silent bit-flips surface here).
+    pub checksum_misses: AtomicU64,
+    /// Disk I/O retry attempts consumed by the capped-backoff policy.
+    pub disk_retries: AtomicU64,
+    /// 1 once the SSD has been quarantined (device death or error budget
+    /// exhausted) and the manager degraded to the noSSD path.
+    pub ssd_quarantined: AtomicU64,
+    /// Reads served from disk that arrived after quarantine — the hits the
+    /// dead SSD can no longer serve.
+    pub quarantined_reads: AtomicU64,
+    /// Cached frames dropped when the table was cleared at quarantine.
+    pub lost_frames: AtomicU64,
+    /// Dirty (sole-copy) frames whose SSD copy became unreadable; each is
+    /// queued for WAL-tail salvage by the engine.
+    pub stranded_dirty: AtomicU64,
+    /// Pages restored onto disk by WAL-tail salvage after stranding.
+    pub salvaged_pages: AtomicU64,
 }
 
 /// Plain-value snapshot of [`SsdMetrics`].
@@ -64,6 +85,14 @@ pub struct SsdMetricsSnapshot {
     pub dirty_hits: u64,
     pub warm_imports: u64,
     pub audit_violations: u64,
+    pub ssd_io_errors: u64,
+    pub checksum_misses: u64,
+    pub disk_retries: u64,
+    pub ssd_quarantined: u64,
+    pub quarantined_reads: u64,
+    pub lost_frames: u64,
+    pub stranded_dirty: u64,
+    pub salvaged_pages: u64,
 }
 
 impl SsdMetrics {
@@ -86,6 +115,14 @@ impl SsdMetrics {
             dirty_hits: self.dirty_hits.load(Ordering::Relaxed),
             warm_imports: self.warm_imports.load(Ordering::Relaxed),
             audit_violations: self.audit_violations.load(Ordering::Relaxed),
+            ssd_io_errors: self.ssd_io_errors.load(Ordering::Relaxed),
+            checksum_misses: self.checksum_misses.load(Ordering::Relaxed),
+            disk_retries: self.disk_retries.load(Ordering::Relaxed),
+            ssd_quarantined: self.ssd_quarantined.load(Ordering::Relaxed),
+            quarantined_reads: self.quarantined_reads.load(Ordering::Relaxed),
+            lost_frames: self.lost_frames.load(Ordering::Relaxed),
+            stranded_dirty: self.stranded_dirty.load(Ordering::Relaxed),
+            salvaged_pages: self.salvaged_pages.load(Ordering::Relaxed),
         }
     }
 

@@ -29,11 +29,14 @@
 
 use std::collections::HashMap;
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use turbopool_iosim::sync::Mutex;
 
 use turbopool_bufpool::PageIo;
-use turbopool_iosim::{Clk, IoManager, Locality, PageBuf, PageId, Time};
+use turbopool_iosim::{
+    fault, Clk, IoError, IoErrorKind, IoManager, Locality, PageBuf, PageId, Time,
+};
 
 use crate::audit::{AuditOp, InvariantAuditor};
 use crate::config::SsdConfig;
@@ -66,6 +69,11 @@ pub struct TacCache {
     cfg: SsdConfig,
     io: Arc<IoManager>,
     inner: Mutex<TacInner>,
+    /// True once the SSD has been quarantined; TAC then runs write-through
+    /// to disk only (its natural degradation — nothing is ever stranded).
+    quarantined: AtomicBool,
+    /// SSD I/O errors observed, charged against `cfg.ssd_error_budget`.
+    ssd_errors: AtomicU64,
     pub metrics: SsdMetrics,
     /// Shadow state machine validating every buffer-table transition.
     auditor: InvariantAuditor,
@@ -85,8 +93,94 @@ impl TacCache {
                 temps: HashMap::new(),
                 heap: std::collections::BinaryHeap::new(),
             }),
+            quarantined: AtomicBool::new(false),
+            ssd_errors: AtomicU64::new(0),
             metrics: SsdMetrics::default(),
             auditor: InvariantAuditor::new(crate::SsdDesign::Tac),
+        }
+    }
+
+    /// True once the SSD is quarantined and TAC runs disk-only.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Record one SSD I/O error; quarantine on device death or once the
+    /// error budget is exhausted. Must not be called while `inner` is held
+    /// (quarantine re-locks it to sweep the table).
+    fn note_ssd_error(&self, e: &IoError) {
+        SsdMetrics::bump(&self.metrics.ssd_io_errors);
+        if e.kind == IoErrorKind::ChecksumMismatch {
+            SsdMetrics::bump(&self.metrics.checksum_misses);
+        }
+        let seen = self.ssd_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        if e.kind == IoErrorKind::DeviceDead || seen > self.cfg.ssd_error_budget {
+            self.quarantine();
+        }
+    }
+
+    /// Drop the whole cache and refuse all future SSD traffic. TAC is
+    /// write-through, so no data is lost — only hits.
+    fn quarantine(&self) {
+        if self.quarantined.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        SsdMetrics::bump(&self.metrics.ssd_quarantined);
+        let mut inner = self.inner.lock();
+        let live: Vec<PageId> = inner.records.iter().flatten().map(|r| r.pid).collect();
+        for rec in inner.records.iter_mut() {
+            *rec = None;
+        }
+        inner.map.clear();
+        inner.free.clear();
+        inner.heap.clear();
+        inner.temps.clear();
+        drop(inner);
+        for pid in live {
+            self.audit(pid, AuditOp::Quarantine);
+            SsdMetrics::bump(&self.metrics.lost_frames);
+        }
+    }
+
+    /// Drop `pid`'s SSD copy after a failed frame read. Write-through: the
+    /// copy was never the only current version, so nothing is lost.
+    fn drop_corrupt(&self, pid: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.map.remove(&pid) {
+            inner.records[frame] = None;
+            inner.free.push(frame);
+            drop(inner);
+            self.audit(pid, AuditOp::CorruptInvalidate);
+            SsdMetrics::bump(&self.metrics.lost_frames);
+        }
+    }
+
+    /// SSD frame read with transient-error retries on `clk`.
+    fn ssd_read(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        let (_retries, out) = fault::retry_sync(clk, |c| self.io.read_ssd(c, frame, buf));
+        out
+    }
+
+    /// Synchronous disk read with the standard capped-backoff retry policy.
+    fn disk_read(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+        buf: &mut [u8],
+    ) -> Result<(), IoError> {
+        let (retries, out) = fault::retry_sync(clk, |c| self.io.read_disk(c, pid, buf, class));
+        SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
+        out
+    }
+
+    /// Asynchronous disk write that must not drop data (see
+    /// `SsdManager::disk_write` for the policy).
+    fn disk_write(&self, now: Time, pid: PageId, data: &[u8]) {
+        if let Err(e) = fault::retry_write_forever(|| {
+            self.io.write_disk_async(now, pid, data, Locality::Random)
+        }) {
+            debug_assert!(!e.is_transient());
         }
     }
 
@@ -192,6 +286,9 @@ impl TacCache {
     /// Admit `pid` (already read from disk) into the SSD at `now`,
     /// following TAC's admission/replacement rule.
     fn admit_on_read(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) {
+        if self.is_quarantined() {
+            return;
+        }
         if self.throttled(now) {
             SsdMetrics::bump(&self.metrics.throttled_admissions);
             return;
@@ -234,7 +331,17 @@ impl TacCache {
             }
         };
         let Some(frame) = frame else { return };
-        let done = self.io.write_ssd_async(now, frame as u64, data, pid);
+        // Install only on a successful submission: a gate failure (dead or
+        // transient) must not leave a record pointing at unwritten bytes.
+        let done = match self.io.write_ssd_async(now, frame as u64, data, pid) {
+            Ok(t) => t,
+            Err(e) => {
+                inner.free.push(frame);
+                drop(inner);
+                self.note_ssd_error(&e);
+                return;
+            }
+        };
         inner.records[frame] = Some(TacRec {
             pid,
             valid: true,
@@ -252,39 +359,71 @@ impl TacCache {
 }
 
 impl PageIo for TacCache {
-    fn read_page(&self, clk: &mut Clk, pid: PageId, class: Locality, buf: &mut [u8]) {
-        {
+    fn read_page(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+        buf: &mut [u8],
+    ) -> Result<(), IoError> {
+        if self.is_quarantined() {
+            SsdMetrics::bump(&self.metrics.quarantined_reads);
+            SsdMetrics::bump(&self.metrics.ssd_misses);
+            return self.disk_read(clk, pid, class, buf);
+        }
+        let hit: Option<u64> = {
             let mut inner = self.inner.lock();
             // Every memory-pool miss heats the extent, wherever it is
             // served from.
             self.heat(&mut inner, pid, class);
-            if let Some(&frame) = inner.map.get(&pid) {
-                // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
-                let rec = inner.records[frame].unwrap();
-                // The copy must be valid AND its installing write complete.
-                if rec.valid && clk.now >= rec.valid_at && !self.throttled(clk.now) {
-                    drop(inner);
-                    self.io.read_ssd(clk, frame as u64, buf);
-                    SsdMetrics::bump(&self.metrics.ssd_hits);
-                    return;
+            match inner.map.get(&pid) {
+                Some(&frame) => {
+                    // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
+                    let rec = inner.records[frame].unwrap();
+                    // The copy must be valid AND its installing write
+                    // complete.
+                    if rec.valid && clk.now >= rec.valid_at && !self.throttled(clk.now) {
+                        Some(frame as u64)
+                    } else {
+                        if rec.valid && clk.now >= rec.valid_at {
+                            SsdMetrics::bump(&self.metrics.throttled_reads);
+                        }
+                        None
+                    }
                 }
-                if rec.valid && clk.now >= rec.valid_at {
-                    SsdMetrics::bump(&self.metrics.throttled_reads);
+                None => None,
+            }
+        };
+        if let Some(frame) = hit {
+            match self.ssd_read(clk, frame, buf) {
+                Ok(()) => {
+                    SsdMetrics::bump(&self.metrics.ssd_hits);
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Write-through: the disk copy is current, so a bad
+                    // frame just costs the hit — drop it and fall through.
+                    self.note_ssd_error(&e);
+                    self.drop_corrupt(pid);
                 }
             }
         }
         SsdMetrics::bump(&self.metrics.ssd_misses);
-        self.io.read_disk(clk, pid, buf, class);
+        self.disk_read(clk, pid, class, buf)?;
         // TAC writes the page to the SSD immediately after the disk read
         // (§2.5 page flow, step ii).
         self.admit_on_read(clk.now, pid, buf, class);
+        Ok(())
     }
 
-    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Vec<PageBuf> {
+    fn read_run(&self, clk: &mut Clk, first: PageId, n: u64) -> Result<Vec<PageBuf>, IoError> {
         // Multi-page reads use the same leading/trailing trim as the other
         // designs (§3.3 optimizations were applied to TAC too). Run pages
         // are sequential, hence cold — TAC does not admit them on read.
         assert!(n > 0);
+        if self.is_quarantined() {
+            SsdMetrics::bump(&self.metrics.quarantined_reads);
+        }
         let ps = self.io.page_size();
         let mut out: Vec<PageBuf> = (0..n).map(|_| PageBuf::zeroed(ps)).collect();
         let now0 = clk.now;
@@ -314,12 +453,16 @@ impl PageIo for TacCache {
         let mid = lead..(n as usize - trail);
         if !mid.is_empty() {
             let mut tmp = Clk::at(now0);
-            let pages = self.io.read_disk_run(
-                &mut tmp,
-                first.offset(mid.start as u64),
-                mid.len() as u64,
-                Locality::Sequential,
-            );
+            let (retries, res) = fault::retry_sync(&mut tmp, |c| {
+                self.io.read_disk_run(
+                    c,
+                    first.offset(mid.start as u64),
+                    mid.len() as u64,
+                    Locality::Sequential,
+                )
+            });
+            SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
+            let pages = res?;
             done = done.max(tmp.now);
             for (k, page) in pages.into_iter().enumerate() {
                 let pid = first.offset((mid.start + k) as u64);
@@ -335,13 +478,31 @@ impl PageIo for TacCache {
         for i in (0..lead).chain(n as usize - trail..n as usize) {
             // lint: allow(panic) — lead/trail indices were counted as Some in the pass above.
             let frame = status[i].unwrap();
+            let pid = first.offset(i as u64);
             let mut tmp = Clk::at(now0);
-            self.io.read_ssd(&mut tmp, frame, out[i].as_mut_slice());
-            done = done.max(tmp.now);
-            SsdMetrics::bump(&self.metrics.ssd_hits);
+            match self.ssd_read(&mut tmp, frame, out[i].as_mut_slice()) {
+                Ok(()) => {
+                    done = done.max(tmp.now);
+                    SsdMetrics::bump(&self.metrics.ssd_hits);
+                }
+                Err(e) => {
+                    // Same fallback as read_page: drop the bad frame and
+                    // fetch the current disk copy instead.
+                    self.note_ssd_error(&e);
+                    self.drop_corrupt(pid);
+                    let mut tmp = Clk::at(now0);
+                    let (retries, res) = fault::retry_sync(&mut tmp, |c| {
+                        self.io
+                            .read_disk(c, pid, out[i].as_mut_slice(), Locality::Sequential)
+                    });
+                    SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
+                    res?;
+                    done = done.max(tmp.now);
+                }
+            }
         }
         clk.wait_until(done);
-        out
+        Ok(out)
     }
 
     fn evict_page(&self, now: Time, pid: PageId, data: &[u8], dirty: bool, _class: Locality) {
@@ -349,41 +510,67 @@ impl PageIo for TacCache {
             // Clean pages were already written on read; nothing happens.
             return;
         }
-        // Write-through to disk, as in a traditional DBMS.
-        self.io.write_disk_async(now, pid, data, Locality::Random);
+        // Write-through to disk, as in a traditional DBMS. This write must
+        // not drop data, so it rides the retry-forever policy.
+        self.disk_write(now, pid, data);
+        if self.is_quarantined() {
+            return;
+        }
         // The disk copy just advanced, so ANY existing SSD version of this
         // page is now stale and must be refreshed (flow iv) or dropped.
         // The invalid case is the paper's flow; a *valid* record can also
         // be stale here: a run-read admitted the disk version while this
         // newer copy sat dirty in the memory pool (scan read-ahead does
         // exactly that), and keeping it would serve lost updates.
-        let mut inner = self.inner.lock();
-        if let Some(&frame) = inner.map.get(&pid) {
-            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
-            let rec = inner.records[frame].unwrap();
-            if !self.throttled(now) {
-                let done = self.io.write_ssd_async(now, frame as u64, data, pid);
-                inner.records[frame] = Some(TacRec {
-                    pid,
-                    valid: true,
-                    valid_at: done,
-                });
-                let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
-                inner.heap.push(std::cmp::Reverse((temp, frame)));
-                self.audit(pid, AuditOp::Refresh);
-                if !rec.valid {
-                    SsdMetrics::bump(&self.metrics.admissions);
+        let mut pending: Option<IoError> = None;
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&frame) = inner.map.get(&pid) {
+                // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
+                let rec = inner.records[frame].unwrap();
+                if !self.throttled(now) {
+                    match self.io.write_ssd_async(now, frame as u64, data, pid) {
+                        Ok(done) => {
+                            inner.records[frame] = Some(TacRec {
+                                pid,
+                                valid: true,
+                                valid_at: done,
+                            });
+                            let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+                            inner.heap.push(std::cmp::Reverse((temp, frame)));
+                            self.audit(pid, AuditOp::Refresh);
+                            if !rec.valid {
+                                SsdMetrics::bump(&self.metrics.admissions);
+                            }
+                        }
+                        Err(e) => {
+                            // Refresh failed: the SSD version (if valid) is
+                            // now stale and must never be read again.
+                            if rec.valid {
+                                inner.records[frame] = Some(TacRec {
+                                    valid: false,
+                                    ..rec
+                                });
+                                self.audit(pid, AuditOp::LogicalInvalidate);
+                                SsdMetrics::bump(&self.metrics.invalidations);
+                            }
+                            pending = Some(e);
+                        }
+                    }
+                } else if rec.valid {
+                    // Cannot rewrite under throttle: invalidate so the stale
+                    // version can never be read.
+                    inner.records[frame] = Some(TacRec {
+                        valid: false,
+                        ..rec
+                    });
+                    self.audit(pid, AuditOp::LogicalInvalidate);
+                    SsdMetrics::bump(&self.metrics.invalidations);
                 }
-            } else if rec.valid {
-                // Cannot rewrite under throttle: invalidate so the stale
-                // version can never be read.
-                inner.records[frame] = Some(TacRec {
-                    valid: false,
-                    ..rec
-                });
-                self.audit(pid, AuditOp::LogicalInvalidate);
-                SsdMetrics::bump(&self.metrics.invalidations);
             }
+        }
+        if let Some(e) = pending {
+            self.note_ssd_error(&e);
         }
     }
 
@@ -416,31 +603,59 @@ impl PageIo for TacCache {
     }
 
     fn checkpoint_write(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) -> Time {
-        let done = self.io.write_disk_async(now, pid, data, Locality::Random);
+        let done = match fault::retry_write_forever(|| {
+            self.io.write_disk_async(now, pid, data, Locality::Random)
+        }) {
+            Ok(t) => t,
+            Err(_) => now,
+        };
+        if self.is_quarantined() {
+            return done;
+        }
         // Same stale-version refresh/invalidate as the eviction flow: the
         // disk copy advances here, so no older SSD version may stay valid.
-        let mut inner = self.inner.lock();
-        if let Some(&frame) = inner.map.get(&pid) {
-            // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
-            let rec = inner.records[frame].unwrap();
-            if !self.throttled(now) {
-                let wdone = self.io.write_ssd_async(now, frame as u64, data, pid);
-                inner.records[frame] = Some(TacRec {
-                    pid,
-                    valid: true,
-                    valid_at: wdone,
-                });
-                let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
-                inner.heap.push(std::cmp::Reverse((temp, frame)));
-                self.audit(pid, AuditOp::Refresh);
-            } else if rec.valid {
-                inner.records[frame] = Some(TacRec {
-                    valid: false,
-                    ..rec
-                });
-                self.audit(pid, AuditOp::LogicalInvalidate);
-                SsdMetrics::bump(&self.metrics.invalidations);
+        let mut pending: Option<IoError> = None;
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&frame) = inner.map.get(&pid) {
+                // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
+                let rec = inner.records[frame].unwrap();
+                if !self.throttled(now) {
+                    match self.io.write_ssd_async(now, frame as u64, data, pid) {
+                        Ok(wdone) => {
+                            inner.records[frame] = Some(TacRec {
+                                pid,
+                                valid: true,
+                                valid_at: wdone,
+                            });
+                            let temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+                            inner.heap.push(std::cmp::Reverse((temp, frame)));
+                            self.audit(pid, AuditOp::Refresh);
+                        }
+                        Err(e) => {
+                            if rec.valid {
+                                inner.records[frame] = Some(TacRec {
+                                    valid: false,
+                                    ..rec
+                                });
+                                self.audit(pid, AuditOp::LogicalInvalidate);
+                                SsdMetrics::bump(&self.metrics.invalidations);
+                            }
+                            pending = Some(e);
+                        }
+                    }
+                } else if rec.valid {
+                    inner.records[frame] = Some(TacRec {
+                        valid: false,
+                        ..rec
+                    });
+                    self.audit(pid, AuditOp::LogicalInvalidate);
+                    SsdMetrics::bump(&self.metrics.invalidations);
+                }
             }
+        }
+        if let Some(e) = pending {
+            self.note_ssd_error(&e);
         }
         done
     }
@@ -471,14 +686,16 @@ mod tests {
 
     fn read(t: &TacCache, clk: &mut Clk, pid: u64) -> u8 {
         let mut buf = vec![0u8; PS];
-        t.read_page(clk, PageId(pid), Locality::Random, &mut buf);
+        t.read_page(clk, PageId(pid), Locality::Random, &mut buf)
+            .unwrap();
         buf[0]
     }
 
     #[test]
     fn write_on_read_then_hit() {
         let (io, t) = mk(8);
-        io.write_disk_async(0, PageId(3), &[7u8; PS], Locality::Random);
+        io.write_disk_async(0, PageId(3), &[7u8; PS], Locality::Random)
+            .unwrap();
         let mut clk = Clk::new();
         read(&t, &mut clk, 3);
         assert!(t.contains_valid(PageId(3)), "admitted immediately on read");
@@ -549,7 +766,8 @@ mod tests {
         let mut inner_temp = {
             let mut clk = Clk::new();
             let mut buf = vec![0u8; PS];
-            t.read_page(&mut clk, PageId(100), Locality::Sequential, &mut buf);
+            t.read_page(&mut clk, PageId(100), Locality::Sequential, &mut buf)
+                .unwrap();
             let inner = t.inner.lock();
             *inner.temps.get(&(100 / 4)).unwrap_or(&0)
         };
@@ -558,7 +776,8 @@ mod tests {
         assert_eq!(inner_temp, 0);
         let mut clk = Clk::new();
         let mut buf = vec![0u8; PS];
-        t.read_page(&mut clk, PageId(200), Locality::Random, &mut buf);
+        t.read_page(&mut clk, PageId(200), Locality::Random, &mut buf)
+            .unwrap();
         inner_temp = *t.inner.lock().temps.get(&(200 / 4)).unwrap();
         assert!(
             inner_temp > 800_000,
@@ -575,9 +794,63 @@ mod tests {
         read(&t, &mut clk, 1);
         clk.elapse(turbopool_iosim::SECOND);
         io.reset_stats();
-        let pages = t.read_run(&mut clk, PageId(0), 6);
+        let pages = t.read_run(&mut clk, PageId(0), 6).unwrap();
         assert_eq!(pages.len(), 6);
         assert_eq!(io.ssd_stats().read_ops, 2, "leading pages trimmed to SSD");
         assert_eq!(io.disk_stats().read_pages, 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use turbopool_iosim::fault::{FaultConfig, FaultPlan};
+
+    #[test]
+    fn tac_death_quarantines_without_data_loss() {
+        let (io, t) = mk(8);
+        io.write_disk_async(0, PageId(3), &[7u8; PS], Locality::Random)
+            .unwrap();
+        let mut clk = Clk::new();
+        read(&t, &mut clk, 3);
+        clk.elapse(turbopool_iosim::SECOND);
+        let plan = Arc::new(FaultPlan::new(FaultConfig::quiet(11)));
+        io.set_ssd_fault(Some(Arc::clone(&plan)));
+        plan.kill(clk.now);
+        // Write-through: the disk copy is current, so the dead SSD only
+        // costs the hit.
+        assert_eq!(read(&t, &mut clk, 3), 7);
+        assert!(t.is_quarantined());
+        assert_eq!(t.occupancy(), 0);
+        let s = t.metrics.snapshot();
+        assert_eq!(s.ssd_quarantined, 1);
+        assert_eq!(s.lost_frames, 1);
+        assert_eq!(s.stranded_dirty, 0, "TAC never strands: write-through");
+        // Dirty evictions still reach the disk after quarantine.
+        t.evict_page(clk.now, PageId(3), &[9u8; PS], true, Locality::Random);
+        clk.elapse(turbopool_iosim::SECOND);
+        assert_eq!(read(&t, &mut clk, 3), 9);
+        assert!(t.metrics.snapshot().quarantined_reads >= 1);
+    }
+
+    #[test]
+    fn tac_torn_ssd_write_is_caught_by_checksum() {
+        let (io, t) = mk(8);
+        io.write_disk_async(0, PageId(5), &[3u8; PS], Locality::Random)
+            .unwrap();
+        // Every SSD write tears from here on (prefix-only persistence).
+        let mut cfg = FaultConfig::quiet(12);
+        cfg.torn_write_prob = 1.0;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(cfg))));
+        let mut clk = Clk::new();
+        // The on-read admission write is torn...
+        assert_eq!(read(&t, &mut clk, 5), 3);
+        assert!(t.contains_valid(PageId(5)));
+        clk.elapse(turbopool_iosim::SECOND);
+        // ...so the next read fails verification and falls back to disk.
+        assert_eq!(read(&t, &mut clk, 5), 3);
+        let s = t.metrics.snapshot();
+        assert_eq!(s.checksum_misses, 1);
+        assert!(!t.is_quarantined());
     }
 }

@@ -1,13 +1,15 @@
 //! The database facade: wiring, catalog, checkpoints, crash & recovery.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use turbopool_bufpool::{BufferPool, BufferPoolConfig, DirectIo, PageIo, PoolStats, ScanCursor};
+use turbopool_bufpool::{
+    BufferPool, BufferPoolConfig, DirectIo, PageGuard, PageIo, PoolStats, ScanCursor,
+};
 use turbopool_core::{SsdDesign, SsdManager, TacCache};
 use turbopool_iosim::sync::Mutex;
-use turbopool_iosim::{Clk, IoManager, PageId, Time};
+use turbopool_iosim::{Clk, IoError, IoManager, Locality, PageId, Time};
 use turbopool_wal::log::DurableLog;
 use turbopool_wal::{LogManager, RecoveryStats};
 
@@ -139,9 +141,82 @@ impl Database {
     /// True if no copy of `pid` exists anywhere (pool, SSD, disk): the page
     /// has never been written and reads as zeroes.
     pub(crate) fn is_fresh(&self, pid: PageId) -> bool {
-        !self.pool.contains(pid)
-            && !self.layer.has_copy(pid)
-            && !self.io.disk_store().is_materialized(pid)
+        if self.pool.contains(pid)
+            || self.layer.has_copy(pid)
+            || self.io.disk_store().is_materialized(pid)
+        {
+            return false;
+        }
+        if self.io.disk_write_lost(pid) {
+            // The page's last disk write was dropped by a dead device: it is
+            // unmaterialized but *not* never-written. Treating it as fresh
+            // would serve zeroes for committed data; forcing the read path
+            // instead surfaces the device error and poisons the transaction.
+            return false;
+        }
+        // No copy anywhere — but a quarantined SSD may have stranded this
+        // page's sole (dirty) copy, in which case it is salvageable from the
+        // WAL tail, not fresh. Salvage is a no-op when nothing is stranded.
+        if self.salvage(&[]) > 0 {
+            return !self.io.disk_store().is_materialized(pid);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: WAL-tail salvage of stranded SSD pages
+    // ------------------------------------------------------------------
+
+    /// Restore the committed content of lost pages onto the disk tier by
+    /// replaying the durable log tail: every page the SSD manager reports as
+    /// *stranded* (an LC dirty frame whose sole copy became unreadable),
+    /// plus any `extra` pages the caller needs redone. Returns the number of
+    /// pages restored.
+    ///
+    /// Sound because commit-time publication flushes a page's log records
+    /// before the page can reach any cache, and sharp checkpoints flush all
+    /// SSD-dirty pages before truncating the log — so the committed image of
+    /// every cached-dirty page is always reconstructible from disk + tail.
+    pub fn salvage(&self, extra: &[PageId]) -> usize {
+        let mut pids: HashSet<PageId> = extra.iter().copied().collect();
+        if let Some(m) = &self.ssd {
+            pids.extend(m.take_stranded());
+        }
+        if pids.is_empty() {
+            return 0;
+        }
+        let n = turbopool_wal::salvage(&self.log.durable_snapshot(), self.io.disk_store(), &pids);
+        if let Some(m) = &self.ssd {
+            m.metrics
+                .salvaged_pages
+                .fetch_add(n as u64, Ordering::Relaxed);
+        } else if let Some(t) = &self.tac {
+            t.metrics
+                .salvaged_pages
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Pin a page, salvaging and retrying once if the first attempt fails.
+    /// The only recoverable failure is a stranded LC page (the read error
+    /// queues it for salvage as a side effect); everything else — a dead
+    /// disk after retries — is returned to the caller.
+    pub(crate) fn get_with_salvage(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        class: Locality,
+    ) -> Result<PageGuard<'_>, IoError> {
+        match self.pool.get(clk, pid, class) {
+            Ok(g) => Ok(g),
+            Err(first) => {
+                if self.salvage(&[]) == 0 {
+                    return Err(first);
+                }
+                self.pool.get(clk, pid, class)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -219,14 +294,34 @@ impl Database {
 
     /// Full sequential scan of a heap with read-ahead; calls
     /// `f(rid, record)` for every present record. Sees committed data only.
-    pub fn scan_heap(&self, clk: &mut Clk, id: HeapId, mut f: impl FnMut(Rid, &[u8])) {
+    /// `Err` means a page could not be read even after WAL-tail salvage —
+    /// the disk tier itself failed; the scan stops at that page.
+    pub fn scan_heap(
+        &self,
+        clk: &mut Clk,
+        id: HeapId,
+        mut f: impl FnMut(Rid, &[u8]),
+    ) -> Result<(), IoError> {
         let meta = self.heap_meta(id);
         let end = meta.first.offset(meta.used_pages());
         let mut cursor = ScanCursor::new(meta.first, end, self.cfg.readahead_window);
-        while let Some(g) = cursor.next(clk, &self.pool) {
-            let page_index = g.pid().0 - meta.first.0;
+        while let Some(next) = cursor.next(clk, &self.pool) {
+            // The cursor has already advanced past the page it just served
+            // (or failed to serve).
+            let pid = PageId(end.0 - cursor.remaining() - 1);
+            let g = match next {
+                Ok(g) => g,
+                Err(e) => {
+                    if self.salvage(&[]) == 0 {
+                        return Err(e);
+                    }
+                    self.pool.get(clk, pid, Locality::Sequential)?
+                }
+            };
+            let page_index = pid.0 - meta.first.0;
             g.read(|b| heap::for_each_in_page(&meta, page_index, b, &mut f));
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -241,6 +336,11 @@ impl Database {
     pub fn checkpoint(&self, clk: &mut Clk) -> Time {
         let start = clk.now;
         self.pool.checkpoint(clk);
+        // The SSD flush above may have stranded LC pages (unreadable dirty
+        // frames). They must be salvaged from the log tail NOW — the
+        // checkpoint below truncates that tail, after which the committed
+        // content would be unrecoverable.
+        self.salvage(&[]);
         let ssd_table = self
             .ssd
             .as_ref()
@@ -527,7 +627,8 @@ mod tests {
         let mut seen = Vec::new();
         db.scan_heap(&mut clk, h, |rid, rec| {
             seen.push((rid, u64::from_le_bytes(rec[..8].try_into().unwrap())));
-        });
+        })
+        .unwrap();
         assert_eq!(seen.len(), 100);
         assert!(seen.iter().all(|&(rid, v)| rid == v));
     }
@@ -717,5 +818,97 @@ mod tests {
         let mut txn = db.begin(&mut clk);
         assert_eq!(&txn.heap_get(h, 0).unwrap()[..2], b"v2");
         txn.commit();
+    }
+
+    #[test]
+    fn lc_ssd_death_recovers_stranded_dirty_pages_via_wal() {
+        use turbopool_core::{SsdConfig, SsdDesign};
+        use turbopool_iosim::fault::{FaultConfig, FaultPlan};
+        // LazyCleaning is the only design where the SSD can hold the sole
+        // current copy of committed data (dirty frames awaiting lazy
+        // cleaning). Kill the SSD mid-workload and every committed value
+        // must still be readable: the stranded pages are rebuilt from the
+        // WAL tail onto disk (Database::salvage).
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.mem_frames = 2;
+        let mut s = SsdConfig::new(SsdDesign::LazyCleaning, 32);
+        s.partitions = 1;
+        cfg.ssd = Some(s);
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 16, 16);
+        let mut rids = Vec::new();
+        // Enough inserts that committed pages are evicted *dirty* to the
+        // SSD (mem_frames = 2 forces constant eviction).
+        for i in 0..100u64 {
+            let mut txn = db.begin(&mut clk);
+            rids.push(txn.heap_insert(h, &i.to_le_bytes()).unwrap());
+            assert!(txn.commit().is_committed());
+        }
+        let dirty_before = db.ssd_manager().unwrap().dirty_count();
+        assert!(dirty_before > 0, "LC must be holding dirty SSD frames");
+        // The SSD dies.
+        let plan = Arc::new(FaultPlan::new(FaultConfig::quiet(42)));
+        db.io().set_ssd_fault(Some(Arc::clone(&plan)));
+        plan.kill(clk.now);
+        // Every committed row is still readable. The first request after
+        // death quarantines the SSD; stranded dirty pages are rebuilt from
+        // the WAL tail before any read of them can be served from disk.
+        let mut txn = db.begin(&mut clk);
+        for (i, rid) in rids.iter().enumerate() {
+            let rec = txn.heap_get(h, *rid).unwrap();
+            assert_eq!(
+                u64::from_le_bytes(rec[..8].try_into().unwrap()),
+                i as u64,
+                "row {i} lost after SSD death"
+            );
+        }
+        assert!(txn.commit().is_committed());
+        let m = db.ssd_metrics().unwrap();
+        assert_eq!(m.ssd_quarantined, 1);
+        assert!(m.salvaged_pages > 0, "expected WAL salvage to run");
+        assert_eq!(m.stranded_dirty, dirty_before);
+        assert_eq!(db.ssd_manager().unwrap().audit_violations(), 0);
+    }
+
+    #[test]
+    fn disk_death_poisons_reads_instead_of_serving_fresh_zeroes() {
+        use crate::txn::CommitOutcome;
+        use turbopool_iosim::fault::{FaultConfig, FaultPlan};
+        // A dirty eviction to a dead disk is genuinely unpersistable — but
+        // the page must not thereafter classify as never-written and read
+        // back as zeroes under a Committed outcome. The IoManager tracks
+        // the lost write; the next read touches the dead device, fails,
+        // and poisons the transaction.
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.mem_frames = 2;
+        cfg.ssd = None; // noSSD: evictions go straight to disk
+        let db = Database::open(cfg);
+        let mut clk = Clk::new();
+        let h = db.create_heap(&mut clk, "t", 16, 4);
+        let mut txn = db.begin(&mut clk);
+        let rid = txn.heap_insert(h, &7u64.to_le_bytes()).unwrap();
+        assert!(txn.commit().is_committed());
+
+        let plan = Arc::new(FaultPlan::new(FaultConfig::quiet(13)));
+        db.io().set_disk_fault(Some(Arc::clone(&plan)));
+        plan.kill(clk.now);
+        // Churn the 2-frame pool until the committed page's dirty eviction
+        // hits the dead disk and is dropped.
+        for i in 0..32u64 {
+            let mut t = db.begin(&mut clk);
+            let _ = t.heap_insert(h, &i.to_le_bytes());
+            let _ = t.commit();
+        }
+        // Reading the committed row must now poison the transaction, not
+        // serve zeroes with a Committed outcome.
+        let mut txn = db.begin(&mut clk);
+        let _ = txn.heap_get(h, rid);
+        match txn.commit() {
+            CommitOutcome::AbortedIo(e) => assert!(!e.is_transient()),
+            CommitOutcome::Committed => {
+                panic!("read of an unpersisted page committed after disk death")
+            }
+        }
     }
 }

@@ -26,4 +26,4 @@ pub mod txn;
 pub use config::DbConfig;
 pub use db::{CrashImage, Database, HeapId, IndexId};
 pub use loader::{bulk_load_heap, bulk_load_index};
-pub use txn::Txn;
+pub use txn::{CommitOutcome, Txn};

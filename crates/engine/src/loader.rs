@@ -185,7 +185,7 @@ mod tests {
         txn.commit();
         // Scans see everything too.
         let mut count = 0;
-        db.scan_heap(&mut clk, h, |_, _| count += 1);
+        db.scan_heap(&mut clk, h, |_, _| count += 1).unwrap();
         assert_eq!(count, 100);
     }
 

@@ -2,10 +2,32 @@
 
 use std::collections::HashMap;
 
-use turbopool_iosim::{Clk, Locality, PageBuf, PageId};
+use turbopool_iosim::{Clk, IoError, Locality, PageBuf, PageId};
 use turbopool_wal::{LogRecord, TxId};
 
 use crate::db::Database;
+
+/// How a [`Txn::commit`] ended.
+///
+/// Deliberately *not* `#[must_use]`: fault-free callers (the workload
+/// drivers, most tests) may keep writing `txn.commit();` — an ignored
+/// `AbortedIo` leaves the database exactly as if the transaction never ran,
+/// which is a safe default. Fault-aware callers match on the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Logged, flushed, and published.
+    Committed,
+    /// The transaction was poisoned by an unrecoverable disk-tier error on
+    /// one of its reads; nothing was logged or published. Carries the first
+    /// such error.
+    AbortedIo(IoError),
+}
+
+impl CommitOutcome {
+    pub fn is_committed(&self) -> bool {
+        matches!(self, CommitOutcome::Committed)
+    }
+}
 
 /// Minimum run of unchanged bytes that splits a page diff into two log
 /// records. Smaller gaps are cheaper to log as part of one record than as
@@ -56,6 +78,9 @@ pub struct Txn<'d, 'c> {
     id: TxId,
     overlay: HashMap<PageId, PageBuf>,
     ops: Vec<LogRecord>,
+    /// First unrecoverable I/O error observed by a read; a poisoned
+    /// transaction serves zeroed pages from then on and refuses to commit.
+    poisoned: Option<IoError>,
 }
 
 impl<'d, 'c> Txn<'d, 'c> {
@@ -66,11 +91,23 @@ impl<'d, 'c> Txn<'d, 'c> {
             id,
             overlay: HashMap::new(),
             ops: Vec::new(),
+            poisoned: None,
         }
     }
 
     pub fn id(&self) -> TxId {
         self.id
+    }
+
+    /// The error that poisoned this transaction, if any. A poisoned
+    /// transaction can only abort ([`Txn::commit`] returns
+    /// [`CommitOutcome::AbortedIo`]).
+    pub fn poisoned(&self) -> Option<IoError> {
+        self.poisoned
+    }
+
+    fn poison(&mut self, e: IoError) {
+        self.poisoned.get_or_insert(e);
     }
 
     /// Bytes of redo this transaction has generated so far.
@@ -89,8 +126,16 @@ impl<'d, 'c> Txn<'d, 'c> {
             // Never-written page: reads as zeroes with no I/O and no frame.
             return f(&vec![0u8; self.db.page_size()]);
         }
-        let g = self.db.pool().get(self.clk, pid, class);
-        g.read(f)
+        match self.db.get_with_salvage(self.clk, pid, class) {
+            Ok(g) => g.read(f),
+            Err(e) => {
+                // Even WAL-tail salvage could not produce the page: poison
+                // the transaction and serve zeroes so the access method can
+                // unwind without a panic.
+                self.poison(e);
+                f(&vec![0u8; self.db.page_size()])
+            }
+        }
     }
 
     /// Modify page `pid` in the transaction's private overlay. The change
@@ -104,8 +149,12 @@ impl<'d, 'c> Txn<'d, 'c> {
         if !self.overlay.contains_key(&pid) {
             let mut buf = PageBuf::zeroed(self.db.page_size());
             if !self.db.is_fresh(pid) {
-                let g = self.db.pool().get(self.clk, pid, class);
-                g.read(|b| buf.copy_from(b));
+                match self.db.get_with_salvage(self.clk, pid, class) {
+                    Ok(g) => g.read(|b| buf.copy_from(b)),
+                    // A missing pre-image poisons the whole transaction:
+                    // the diff below would be against garbage.
+                    Err(e) => self.poison(e),
+                }
             }
             self.overlay.insert(pid, buf);
         }
@@ -124,9 +173,13 @@ impl<'d, 'c> Txn<'d, 'c> {
     }
 
     /// Commit: log, flush (WAL), publish. Read-only transactions are free.
-    pub fn commit(self) {
+    /// A poisoned transaction aborts instead (nothing logged or published).
+    pub fn commit(self) -> CommitOutcome {
+        if let Some(e) = self.poisoned {
+            return CommitOutcome::AbortedIo(e);
+        }
         if self.ops.is_empty() {
-            return;
+            return CommitOutcome::Committed;
         }
         let log = self.db.log();
         for rec in &self.ops {
@@ -138,13 +191,24 @@ impl<'d, 'c> Txn<'d, 'c> {
         // dirtying the pages (which invalidates any SSD copies).
         for (pid, image) in self.overlay {
             if self.db.pool().contains(pid) || !self.db.is_fresh(pid) {
-                let mut g = self.db.pool().get(self.clk, pid, Locality::Random);
-                g.write(self.clk.now, |b| b.copy_from_slice(image.as_slice()));
+                match self.db.get_with_salvage(self.clk, pid, Locality::Random) {
+                    Ok(mut g) => {
+                        g.write(self.clk.now, |b| b.copy_from_slice(image.as_slice()));
+                    }
+                    Err(_) => {
+                        // The commit record is already durable, so the
+                        // transaction IS committed; the frame just cannot be
+                        // cached right now. Redo this page's committed
+                        // content straight onto the disk tier from the log.
+                        self.db.salvage(&[pid]);
+                    }
+                }
             } else {
                 let mut g = self.db.pool().create(self.clk.now, pid);
                 g.write(self.clk.now, |b| b.copy_from_slice(image.as_slice()));
             }
         }
+        CommitOutcome::Committed
     }
 
     /// Discard all buffered writes.

@@ -1,0 +1,516 @@
+//! Deterministic storage-fault injection.
+//!
+//! A [`FaultPlan`] is a seeded stream of misbehavior attachable to one
+//! simulated device: transient read/write errors, latency spikes, torn
+//! writes that persist only a prefix of the payload, silent single-bit
+//! corruption, and a scheduled whole-device death at a virtual-time
+//! instant. Every decision is drawn from the repository's own
+//! [`SmallRng`](crate::rng::SmallRng) in call order, so a run with the
+//! same seed and the same workload replays its faults bit-identically —
+//! the same property the timing model already guarantees.
+//!
+//! The plan only *decides*; [`IoManager`](crate::io_manager::IoManager)
+//! applies the decisions at its submit points. Silent corruption (torn
+//! frames, bit flips) is applied to the SSD tier only, where per-frame
+//! checksums catch it on the next read; the disk tier — the durability
+//! story of the system — reports its failures instead of hiding them.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::clock::{Clk, Time, MILLISECOND};
+use crate::rng::{Rng, SeedableRng, SmallRng};
+use crate::sync::Mutex;
+
+/// Which storage tier an error was reported by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDevice {
+    /// The striped database disk group.
+    Disk,
+    /// The SSD buffer-pool file.
+    Ssd,
+}
+
+/// What went wrong with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoErrorKind {
+    /// A read failed transiently; retrying may succeed.
+    TransientRead,
+    /// A write failed transiently; retrying may succeed. For multi-page
+    /// disk runs a prefix of the pages may have been persisted.
+    TransientWrite,
+    /// The device is dead (scheduled death reached); permanent.
+    DeviceDead,
+    /// The bytes came back but failed checksum verification — torn or
+    /// corrupted frame detected on read.
+    ChecksumMismatch,
+}
+
+impl IoErrorKind {
+    /// True for errors a bounded retry can reasonably clear.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            IoErrorKind::TransientRead | IoErrorKind::TransientWrite
+        )
+    }
+}
+
+/// A storage error: which device, what kind, and when (virtual time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError {
+    pub device: FaultDevice,
+    pub kind: IoErrorKind,
+    /// Virtual time at which the failure was reported.
+    pub at: Time,
+}
+
+impl IoError {
+    pub fn new(device: FaultDevice, kind: IoErrorKind, at: Time) -> Self {
+        IoError { device, kind, at }
+    }
+
+    /// True for errors a bounded retry can reasonably clear.
+    pub fn is_transient(&self) -> bool {
+        self.kind.is_transient()
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dev = match self.device {
+            FaultDevice::Disk => "disk",
+            FaultDevice::Ssd => "ssd",
+        };
+        let kind = match self.kind {
+            IoErrorKind::TransientRead => "transient read error",
+            IoErrorKind::TransientWrite => "transient write error",
+            IoErrorKind::DeviceDead => "device dead",
+            IoErrorKind::ChecksumMismatch => "checksum mismatch",
+        };
+        write!(f, "{dev}: {kind} at t={}ns", self.at)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Tunable fault probabilities for one device. All probabilities are per
+/// request; a default-constructed config injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed of the plan's private RNG stream.
+    pub seed: u64,
+    /// Probability a read request fails with [`IoErrorKind::TransientRead`].
+    pub read_error_prob: f64,
+    /// Probability a write request fails with
+    /// [`IoErrorKind::TransientWrite`] before persisting anything.
+    pub write_error_prob: f64,
+    /// Probability a surviving request is delayed by `latency_spike_ns`.
+    pub latency_spike_prob: f64,
+    /// Extra service time charged to a spiked request.
+    pub latency_spike_ns: Time,
+    /// Probability a write is torn: only a prefix persists. On the SSD
+    /// this is silent (caught later by the frame checksum); on a disk
+    /// multi-page run the prefix pages persist and the request errors.
+    pub torn_write_prob: f64,
+    /// Probability a write silently flips one stored bit (SSD only).
+    pub bitflip_prob: f64,
+    /// Virtual-time instant at which the whole device dies. Every request
+    /// at or after this instant fails with [`IoErrorKind::DeviceDead`].
+    pub death_at: Option<Time>,
+}
+
+impl FaultConfig {
+    /// A plan that injects nothing (useful as a base to tweak).
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            read_error_prob: 0.0,
+            write_error_prob: 0.0,
+            latency_spike_prob: 0.0,
+            latency_spike_ns: 0,
+            torn_write_prob: 0.0,
+            bitflip_prob: 0.0,
+            death_at: None,
+        }
+    }
+
+    /// Transient read+write errors at probability `p`.
+    pub fn transient(seed: u64, p: f64) -> Self {
+        let mut c = Self::quiet(seed);
+        c.read_error_prob = p;
+        c.write_error_prob = p;
+        c
+    }
+
+    /// Whole-device death at virtual time `t`.
+    pub fn death(seed: u64, t: Time) -> Self {
+        let mut c = Self::quiet(seed);
+        c.death_at = Some(t);
+        c
+    }
+}
+
+/// Counters of faults actually injected, readable at any time. These are
+/// part of the determinism contract: two runs with the same seed and
+/// workload must report identical counts.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    latency_spikes: AtomicU64,
+    torn_writes: AtomicU64,
+    bitflips: AtomicU64,
+    dead_rejects: AtomicU64,
+}
+
+/// Plain snapshot of [`FaultPlan`] counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    pub read_errors: u64,
+    pub write_errors: u64,
+    pub latency_spikes: u64,
+    pub torn_writes: u64,
+    pub bitflips: u64,
+    pub dead_rejects: u64,
+}
+
+/// Sentinel for "no dynamic death scheduled".
+const NO_DEATH: u64 = u64::MAX;
+
+/// A seeded fault stream for one device.
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: Mutex<SmallRng>,
+    counters: FaultCounters,
+    /// Death instant installed after construction (e.g. a torture test
+    /// killing the device mid-run); `NO_DEATH` when unset.
+    dynamic_death: AtomicU64,
+}
+
+impl FaultPlan {
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            rng: Mutex::new(SmallRng::seed_from_u64(cfg.seed)),
+            cfg,
+            counters: FaultCounters::default(),
+            dynamic_death: AtomicU64::new(NO_DEATH),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Kill the device effective at virtual time `at` (in addition to any
+    /// configured `death_at`; the earlier instant wins).
+    pub fn kill(&self, at: Time) {
+        self.dynamic_death.fetch_min(at, Relaxed);
+    }
+
+    /// Is the device dead at `now`?
+    pub fn is_dead(&self, now: Time) -> bool {
+        let sched = self.cfg.death_at.unwrap_or(NO_DEATH);
+        now >= sched.min(self.dynamic_death.load(Relaxed))
+    }
+
+    /// Draw with probability `p`, consuming randomness only when the
+    /// outcome is actually in play (p in (0, 1]).
+    fn draw(&self, p: f64) -> bool {
+        p > 0.0 && self.rng.lock().gen_bool(p)
+    }
+
+    /// Gate a read request at `now`. `Ok(extra)` lets it proceed with
+    /// `extra` nanoseconds of injected latency; `Err` rejects it.
+    pub fn before_read(&self, device: FaultDevice, now: Time) -> Result<Time, IoError> {
+        if self.is_dead(now) {
+            self.counters.dead_rejects.fetch_add(1, Relaxed);
+            return Err(IoError::new(device, IoErrorKind::DeviceDead, now));
+        }
+        if self.draw(self.cfg.read_error_prob) {
+            self.counters.read_errors.fetch_add(1, Relaxed);
+            return Err(IoError::new(device, IoErrorKind::TransientRead, now));
+        }
+        Ok(self.spike())
+    }
+
+    /// Gate a write request at `now`, as [`Self::before_read`].
+    pub fn before_write(&self, device: FaultDevice, now: Time) -> Result<Time, IoError> {
+        if self.is_dead(now) {
+            self.counters.dead_rejects.fetch_add(1, Relaxed);
+            return Err(IoError::new(device, IoErrorKind::DeviceDead, now));
+        }
+        if self.draw(self.cfg.write_error_prob) {
+            self.counters.write_errors.fetch_add(1, Relaxed);
+            return Err(IoError::new(device, IoErrorKind::TransientWrite, now));
+        }
+        Ok(self.spike())
+    }
+
+    fn spike(&self) -> Time {
+        if self.draw(self.cfg.latency_spike_prob) {
+            self.counters.latency_spikes.fetch_add(1, Relaxed);
+            self.cfg.latency_spike_ns
+        } else {
+            0
+        }
+    }
+
+    /// Should this write of `len` units tear? Returns the persisted prefix
+    /// length, drawn uniformly from `[1, len)` (a torn write always loses
+    /// at least its tail and persists at least one unit).
+    pub fn torn_prefix(&self, len: usize) -> Option<usize> {
+        if len >= 2 && self.draw(self.cfg.torn_write_prob) {
+            self.counters.torn_writes.fetch_add(1, Relaxed);
+            Some(self.rng.lock().gen_range(1..len))
+        } else {
+            None
+        }
+    }
+
+    /// Should this write silently corrupt one bit? Returns the byte index
+    /// (below `len`) and the flip mask.
+    pub fn bitflip(&self, len: usize) -> Option<(usize, u8)> {
+        if len > 0 && self.draw(self.cfg.bitflip_prob) {
+            self.counters.bitflips.fetch_add(1, Relaxed);
+            let mut rng = self.rng.lock();
+            let byte = rng.gen_range(0..len);
+            let bit = rng.gen_range(0u32..8);
+            Some((byte, 1u8 << bit))
+        } else {
+            None
+        }
+    }
+
+    /// Snapshot the injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            read_errors: self.counters.read_errors.load(Relaxed),
+            write_errors: self.counters.write_errors.load(Relaxed),
+            latency_spikes: self.counters.latency_spikes.load(Relaxed),
+            torn_writes: self.counters.torn_writes.load(Relaxed),
+            bitflips: self.counters.bitflips.load(Relaxed),
+            dead_rejects: self.counters.dead_rejects.load(Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Checksums
+// ----------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash over a frame's bytes — the per-frame checksum the
+/// SSD tier stores beside its page-id tag and verifies on every read.
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ----------------------------------------------------------------------
+// Retry policy
+// ----------------------------------------------------------------------
+
+/// Attempts made on a transient disk error before giving up (the first
+/// attempt plus `DISK_RETRY_LIMIT` retries).
+pub const DISK_RETRY_LIMIT: u32 = 5;
+
+/// Capped exponential backoff before retry `attempt` (0-based):
+/// 1 ms, 4 ms, 16 ms, 64 ms, then 64 ms flat — virtual time only.
+pub fn backoff_ns(attempt: u32) -> Time {
+    MILLISECOND << (2 * attempt.min(3))
+}
+
+/// Run `op` with the standard synchronous retry policy: transient errors
+/// wait out a capped virtual-time backoff on `clk` and retry; permanent
+/// errors and retry exhaustion propagate. Returns the attempt count made
+/// alongside the result so callers can account retries.
+pub fn retry_sync<T>(
+    clk: &mut Clk,
+    mut op: impl FnMut(&mut Clk) -> Result<T, IoError>,
+) -> (u32, Result<T, IoError>) {
+    let mut attempt = 0u32;
+    loop {
+        match op(clk) {
+            Ok(v) => return (attempt, Ok(v)),
+            Err(e) if e.is_transient() && attempt < DISK_RETRY_LIMIT => {
+                clk.elapse(backoff_ns(attempt));
+                attempt += 1;
+            }
+            Err(e) => return (attempt, Err(e)),
+        }
+    }
+}
+
+/// Retry `op` until it succeeds or fails permanently. For write-behind of
+/// data that must not be dropped (dirty evictions, checkpoint writes):
+/// transient write errors are retried without bound — they clear with
+/// probability 1 for any injection rate below certainty — so only a dead
+/// device ever surfaces, and the caller then deals with genuine loss.
+pub fn retry_write_forever<T>(mut op: impl FnMut() -> Result<T, IoError>) -> Result<T, IoError> {
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Run `op` with the asynchronous retry policy: retries happen at the
+/// same submission instant (the caller's clock is not advanced by
+/// write-behind I/O, so there is nothing to back off against).
+pub fn retry_async<T>(mut op: impl FnMut() -> Result<T, IoError>) -> (u32, Result<T, IoError>) {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return (attempt, Ok(v)),
+            Err(e) if e.is_transient() && attempt < DISK_RETRY_LIMIT => attempt += 1,
+            Err(e) => return (attempt, Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let p = FaultPlan::new(FaultConfig::quiet(1));
+        for now in 0..1000 {
+            assert_eq!(p.before_read(FaultDevice::Ssd, now), Ok(0));
+            assert_eq!(p.before_write(FaultDevice::Ssd, now), Ok(0));
+        }
+        assert!(p.torn_prefix(4096).is_none());
+        assert!(p.bitflip(4096).is_none());
+        assert_eq!(p.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let mk = || FaultPlan::new(FaultConfig::transient(42, 0.3));
+        let (a, b) = (mk(), mk());
+        let run = |p: &FaultPlan| -> Vec<bool> {
+            (0..200)
+                .map(|i| p.before_read(FaultDevice::Disk, i).is_err())
+                .collect()
+        };
+        assert_eq!(run(&a), run(&b));
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().read_errors > 0, "p=0.3 over 200 draws must fire");
+    }
+
+    #[test]
+    fn death_is_a_wall_in_time() {
+        let p = FaultPlan::new(FaultConfig::death(7, 1000));
+        assert!(p.before_read(FaultDevice::Ssd, 999).is_ok());
+        let e = p.before_write(FaultDevice::Ssd, 1000).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::DeviceDead);
+        assert!(!e.is_transient());
+        assert_eq!(p.stats().dead_rejects, 1);
+    }
+
+    #[test]
+    fn dynamic_kill_takes_the_earlier_instant() {
+        let p = FaultPlan::new(FaultConfig::death(7, 5000));
+        p.kill(100);
+        assert!(p.is_dead(100));
+        assert!(!p.is_dead(99));
+    }
+
+    #[test]
+    fn torn_prefix_is_a_strict_prefix() {
+        let mut cfg = FaultConfig::quiet(3);
+        cfg.torn_write_prob = 1.0;
+        let p = FaultPlan::new(cfg);
+        for _ in 0..100 {
+            let len = p.torn_prefix(64).expect("p=1 always tears");
+            assert!((1..64).contains(&len));
+        }
+        // A single-unit write cannot tear.
+        assert!(p.torn_prefix(1).is_none());
+    }
+
+    #[test]
+    fn latency_spikes_add_configured_delay() {
+        let mut cfg = FaultConfig::quiet(4);
+        cfg.latency_spike_prob = 1.0;
+        cfg.latency_spike_ns = 12_345;
+        let p = FaultPlan::new(cfg);
+        assert_eq!(p.before_read(FaultDevice::Disk, 0), Ok(12_345));
+        assert_eq!(p.stats().latency_spikes, 1);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bitflip() {
+        let data = vec![0xA5u8; 64];
+        let base = checksum(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                let mut t = data.clone();
+                t[byte] ^= 1 << bit;
+                assert_ne!(checksum(&t), base, "flip {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_sync_waits_out_transients() {
+        let mut clk = Clk::new();
+        let mut failures = 3;
+        let (attempts, out) = retry_sync(&mut clk, |_clk| {
+            if failures > 0 {
+                failures -= 1;
+                Err(IoError::new(
+                    FaultDevice::Disk,
+                    IoErrorKind::TransientRead,
+                    0,
+                ))
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(out, Ok(99));
+        assert_eq!(attempts, 3);
+        // 1 + 4 + 16 ms of backoff elapsed on the virtual clock.
+        assert_eq!(clk.now, 21 * MILLISECOND);
+    }
+
+    #[test]
+    fn retry_sync_gives_up_on_permanent_errors() {
+        let mut clk = Clk::new();
+        let dead = IoError::new(FaultDevice::Disk, IoErrorKind::DeviceDead, 0);
+        let (attempts, out) = retry_sync(&mut clk, |_clk| Err::<(), _>(dead));
+        assert_eq!(out, Err(dead));
+        assert_eq!(attempts, 0);
+        assert_eq!(clk.now, 0, "no backoff for a dead device");
+    }
+
+    #[test]
+    fn retry_async_bounds_attempts() {
+        let torn = IoError::new(FaultDevice::Disk, IoErrorKind::TransientWrite, 0);
+        let (attempts, out) = retry_async(|| Err::<(), _>(torn));
+        assert_eq!(out, Err(torn));
+        assert_eq!(attempts, DISK_RETRY_LIMIT);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        assert_eq!(backoff_ns(0), MILLISECOND);
+        assert_eq!(backoff_ns(1), 4 * MILLISECOND);
+        assert_eq!(backoff_ns(3), 64 * MILLISECOND);
+        assert_eq!(backoff_ns(10), 64 * MILLISECOND);
+    }
+}

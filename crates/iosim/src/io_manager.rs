@@ -8,12 +8,16 @@
 //! delay later requests on the same device) without advancing the caller's
 //! clock, mirroring the write-behind I/O of the paper's disk manager.
 
+use std::sync::Arc;
+
 use crate::array::StripedArray;
 use crate::clock::{Clk, Time};
 use crate::device::{DeviceProfile, IoKind, Locality, SimDevice};
+use crate::fault::{self, FaultDevice, FaultPlan, IoError, IoErrorKind};
 use crate::page::{PageBuf, PageId};
 use crate::profiles;
 use crate::store::{MemStore, PageStore};
+use crate::sync::RwLock;
 
 /// Sizing and calibration of the simulated storage subsystem.
 #[derive(Clone, Debug)]
@@ -74,8 +78,26 @@ pub struct IoManager {
     /// real cache stores inside each cached page — persisted with the page
     /// at no extra I/O cost, and the basis of warm-restart validation.
     ssd_tags: Vec<std::sync::atomic::AtomicU64>,
+    /// FNV-1a checksum of the bytes each SSD frame was *meant* to hold,
+    /// recorded at write submission and verified on every read. Models the
+    /// in-page checksum a real cache stores beside the page-id header (same
+    /// persistence argument as `ssd_tags`): injected torn writes and bit
+    /// flips corrupt the stored bytes but not this intent record, so the
+    /// next read detects the damage instead of returning bad bytes.
+    ssd_sums: Vec<std::sync::atomic::AtomicU64>,
     log_dev: SimDevice,
     log_lba: crate::sync::Mutex<u64>,
+    /// Fault stream for the database disk group, if any.
+    disk_fault: RwLock<Option<Arc<FaultPlan>>>,
+    /// Fault stream for the SSD, if any.
+    ssd_fault: RwLock<Option<Arc<FaultPlan>>>,
+    /// Pages whose most recent disk write was dropped by a failing device
+    /// and never retried to success. The stored disk image (if any) is
+    /// stale, so readers must not treat such a page as never-written and
+    /// serve zeroes — see [`IoManager::disk_write_lost`].
+    lost_disk_writes: crate::sync::Mutex<std::collections::HashSet<PageId>>,
+    /// Fast-path flag: true while `lost_disk_writes` may be non-empty.
+    any_lost_writes: std::sync::atomic::AtomicBool,
 }
 
 impl IoManager {
@@ -90,8 +112,62 @@ impl IoManager {
             ssd_tags: (0..setup.ssd_frames)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
+            ssd_sums: (0..setup.ssd_frames)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
             log_dev: SimDevice::new("log", setup.log_profile),
             log_lba: crate::sync::Mutex::new(0),
+            disk_fault: RwLock::new(None),
+            ssd_fault: RwLock::new(None),
+            lost_disk_writes: crate::sync::Mutex::new(std::collections::HashSet::new()),
+            any_lost_writes: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Attach (or detach, with `None`) a fault stream to the disk group.
+    pub fn set_disk_fault(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.disk_fault.write() = plan;
+    }
+
+    /// Attach (or detach, with `None`) a fault stream to the SSD.
+    pub fn set_ssd_fault(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.ssd_fault.write() = plan;
+    }
+
+    /// The currently attached disk fault stream, if any.
+    pub fn disk_fault(&self) -> Option<Arc<FaultPlan>> {
+        self.disk_fault.read().clone()
+    }
+
+    /// The currently attached SSD fault stream, if any.
+    pub fn ssd_fault(&self) -> Option<Arc<FaultPlan>> {
+        self.ssd_fault.read().clone()
+    }
+
+    fn plan_for(&self, device: FaultDevice) -> Option<Arc<FaultPlan>> {
+        match device {
+            FaultDevice::Disk => self.disk_fault.read().clone(),
+            FaultDevice::Ssd => self.ssd_fault.read().clone(),
+        }
+    }
+
+    /// Gate a read on `device` at `now`: `Ok(extra_latency)` or an error.
+    fn gate_read(&self, device: FaultDevice, now: Time) -> Result<Time, IoError> {
+        match self.plan_for(device) {
+            Some(p) => p.before_read(device, now),
+            None => Ok(0),
+        }
+    }
+
+    /// Gate a write on `device` at `now`, as [`Self::gate_read`].
+    fn gate_write(&self, device: FaultDevice, now: Time) -> Result<Time, IoError> {
+        match self.plan_for(device) {
+            Some(p) => p.before_write(device, now),
+            None => Ok(0),
         }
     }
 
@@ -117,12 +193,20 @@ impl IoManager {
     // ------------------------------------------------------------------
 
     /// Synchronously read one database page.
-    pub fn read_disk(&self, clk: &mut Clk, pid: PageId, buf: &mut [u8], hint: Locality) {
+    pub fn read_disk(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        buf: &mut [u8],
+        hint: Locality,
+    ) -> Result<(), IoError> {
+        let extra = self.gate_read(FaultDevice::Disk, clk.now)?;
         let t = self
             .disk
             .submit_page(clk.now, IoKind::Read, pid, Some(hint));
         self.disk_store.read(pid, buf);
-        clk.wait_until(t.complete);
+        clk.wait_until(t.complete + extra);
+        Ok(())
     }
 
     /// Synchronously read the consecutive run `first .. first + n` as one
@@ -138,8 +222,9 @@ impl IoManager {
         first: PageId,
         n: u64,
         hint: Locality,
-    ) -> Vec<PageBuf> {
+    ) -> Result<Vec<PageBuf>, IoError> {
         let _ = hint; // adjacency is auto-detected per member span
+        let extra = self.gate_read(FaultDevice::Disk, clk.now)?;
         let t = self.disk.submit_run(clk.now, IoKind::Read, first, n, None);
         let mut out = Vec::with_capacity(n as usize);
         for i in 0..n {
@@ -147,40 +232,129 @@ impl IoManager {
             self.disk_store.read(first.offset(i), buf.as_mut_slice());
             out.push(buf);
         }
-        clk.wait_until(t.complete);
-        out
+        clk.wait_until(t.complete + extra);
+        Ok(out)
     }
 
     /// Asynchronously write one database page; returns the completion time.
     /// The store is updated immediately so later reads observe the data.
-    pub fn write_disk_async(&self, now: Time, pid: PageId, data: &[u8], hint: Locality) -> Time {
+    pub fn write_disk_async(
+        &self,
+        now: Time,
+        pid: PageId,
+        data: &[u8],
+        hint: Locality,
+    ) -> Result<Time, IoError> {
+        let extra = match self.gate_write(FaultDevice::Disk, now) {
+            Ok(extra) => extra,
+            Err(e) => {
+                self.mark_lost_write(pid);
+                return Err(e);
+            }
+        };
         let t = self.disk.submit_page(now, IoKind::Write, pid, Some(hint));
         self.disk_store.write(pid, data);
-        t.complete
+        self.clear_lost_write(pid);
+        Ok(t.complete + extra)
     }
 
     /// Synchronously write one database page.
-    pub fn write_disk_sync(&self, clk: &mut Clk, pid: PageId, data: &[u8], hint: Locality) {
-        let done = self.write_disk_async(clk.now, pid, data, hint);
+    pub fn write_disk_sync(
+        &self,
+        clk: &mut Clk,
+        pid: PageId,
+        data: &[u8],
+        hint: Locality,
+    ) -> Result<(), IoError> {
+        let done = self.write_disk_async(clk.now, pid, data, hint)?;
         clk.wait_until(done);
+        Ok(())
     }
 
     /// Asynchronously write a consecutive run of pages as one request
     /// (group cleaning, §3.3.5). `pages[i]` is written to `first + i`.
-    pub fn write_disk_run_async(&self, now: Time, first: PageId, pages: &[&[u8]]) -> Time {
+    ///
+    /// A torn multi-page write persists only a prefix of the run and then
+    /// reports failure — the disk tier never corrupts silently, but a
+    /// failed run may still have advanced some of its pages (exactly the
+    /// partial-persistence window a real `writev` failure leaves behind).
+    pub fn write_disk_run_async(
+        &self,
+        now: Time,
+        first: PageId,
+        pages: &[&[u8]],
+    ) -> Result<Time, IoError> {
         assert!(!pages.is_empty());
+        let extra = match self.gate_write(FaultDevice::Disk, now) {
+            Ok(extra) => extra,
+            Err(e) => {
+                for i in 0..pages.len() {
+                    self.mark_lost_write(first.offset(i as u64));
+                }
+                return Err(e);
+            }
+        };
+        let plan = self.plan_for(FaultDevice::Disk);
+        let torn = plan.as_ref().and_then(|p| p.torn_prefix(pages.len()));
+        let persisted = torn.unwrap_or(pages.len());
         let t = self.disk.submit_run(
             now,
             IoKind::Write,
             first,
-            pages.len() as u64,
+            persisted as u64,
             // First page still seeks; the rest stream.
             Some(Locality::Random),
         );
-        for (i, data) in pages.iter().enumerate() {
+        for (i, data) in pages.iter().take(persisted).enumerate() {
             self.disk_store.write(first.offset(i as u64), data);
+            self.clear_lost_write(first.offset(i as u64));
         }
-        t.complete
+        for i in persisted..pages.len() {
+            // The torn tail never reached the platter; until a retry lands
+            // it, these pages must not read as fresh.
+            self.mark_lost_write(first.offset(i as u64));
+        }
+        if torn.is_some() {
+            return Err(IoError::new(
+                FaultDevice::Disk,
+                IoErrorKind::TransientWrite,
+                now,
+            ));
+        }
+        Ok(t.complete + extra)
+    }
+
+    fn mark_lost_write(&self, pid: PageId) {
+        self.lost_disk_writes.lock().insert(pid);
+        self.any_lost_writes
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn clear_lost_write(&self, pid: PageId) {
+        if self
+            .any_lost_writes
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            let mut lost = self.lost_disk_writes.lock();
+            lost.remove(&pid);
+            if lost.is_empty() {
+                self.any_lost_writes
+                    .store(false, std::sync::atomic::Ordering::Release);
+            }
+        }
+    }
+
+    /// True if `pid`'s most recent disk write was dropped by a failing
+    /// device and never retried to success. The write-behind retry
+    /// policies absorb transient errors, so in practice this only fires
+    /// after whole-device death — but while it is set, the disk image of
+    /// `pid` is stale (or absent) and the page must not be classified as
+    /// never-written: a read has to touch the device and surface the
+    /// error so the transaction is poisoned instead of served zeroes.
+    pub fn disk_write_lost(&self, pid: PageId) -> bool {
+        self.any_lost_writes
+            .load(std::sync::atomic::Ordering::Acquire)
+            && self.lost_disk_writes.lock().contains(&pid)
     }
 
     /// Outstanding request count on the disk group.
@@ -192,31 +366,82 @@ impl IoManager {
     // SSD buffer-pool file
     // ------------------------------------------------------------------
 
-    /// Synchronously read one SSD frame.
-    pub fn read_ssd(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) {
+    /// Synchronously read one SSD frame, verifying the frame checksum.
+    ///
+    /// An injected torn write or bit flip surfaces here as
+    /// [`IoErrorKind::ChecksumMismatch`] — the caller gets an error, never
+    /// silently corrupted bytes. The frame contents (possibly damaged) are
+    /// still in `buf` for forensics; callers must not use them as page data.
+    pub fn read_ssd(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        let extra = self.gate_read(FaultDevice::Ssd, clk.now)?;
         let t = self
             .ssd_dev
             .submit(clk.now, IoKind::Read, frame, 1, Some(Locality::Random));
         self.ssd_store.read(PageId(frame), buf);
-        clk.wait_until(t.complete);
+        clk.wait_until(t.complete + extra);
+        let written = self.ssd_tags[frame as usize].load(std::sync::atomic::Ordering::Relaxed) != 0;
+        if written
+            && fault::checksum(buf)
+                != self.ssd_sums[frame as usize].load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return Err(IoError::new(
+                FaultDevice::Ssd,
+                IoErrorKind::ChecksumMismatch,
+                clk.now,
+            ));
+        }
+        Ok(())
     }
 
     /// Asynchronously write one SSD frame; returns completion time. `tag`
     /// is the database page the frame now caches (stored as an in-page
     /// header, see `ssd_tag`).
-    pub fn write_ssd_async(&self, now: Time, frame: u64, data: &[u8], tag: PageId) -> Time {
+    ///
+    /// The checksum of the *intended* bytes is always recorded; injected
+    /// silent corruption (torn prefix, bit flip) damages only the stored
+    /// copy, so the next [`Self::read_ssd`] of this frame detects it.
+    pub fn write_ssd_async(
+        &self,
+        now: Time,
+        frame: u64,
+        data: &[u8],
+        tag: PageId,
+    ) -> Result<Time, IoError> {
+        let extra = self.gate_write(FaultDevice::Ssd, now)?;
         let t = self
             .ssd_dev
             .submit(now, IoKind::Write, frame, 1, Some(Locality::Random));
-        self.ssd_store.write(PageId(frame), data);
+        let plan = self.plan_for(FaultDevice::Ssd);
+        if let Some(len) = plan.as_ref().and_then(|p| p.torn_prefix(data.len())) {
+            // Torn frame: the new prefix lands over the old frame tail.
+            let mut merged = vec![0u8; self.page_size];
+            self.ssd_store.read(PageId(frame), &mut merged);
+            merged[..len].copy_from_slice(&data[..len]);
+            self.ssd_store.write(PageId(frame), &merged);
+        } else if let Some((byte, mask)) = plan.as_ref().and_then(|p| p.bitflip(data.len())) {
+            let mut flipped = data.to_vec();
+            flipped[byte] ^= mask;
+            self.ssd_store.write(PageId(frame), &flipped);
+        } else {
+            self.ssd_store.write(PageId(frame), data);
+        }
+        self.ssd_sums[frame as usize]
+            .store(fault::checksum(data), std::sync::atomic::Ordering::Relaxed);
         self.ssd_tags[frame as usize].store(tag.0 + 1, std::sync::atomic::Ordering::Relaxed);
-        t.complete
+        Ok(t.complete + extra)
     }
 
     /// Synchronously write one SSD frame.
-    pub fn write_ssd_sync(&self, clk: &mut Clk, frame: u64, data: &[u8], tag: PageId) {
-        let done = self.write_ssd_async(clk.now, frame, data, tag);
+    pub fn write_ssd_sync(
+        &self,
+        clk: &mut Clk,
+        frame: u64,
+        data: &[u8],
+        tag: PageId,
+    ) -> Result<(), IoError> {
+        let done = self.write_ssd_async(clk.now, frame, data, tag)?;
         clk.wait_until(done);
+        Ok(())
     }
 
     /// The page id cached in `frame` per its in-page header, if any. This
@@ -330,6 +555,7 @@ impl IoManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
 
     fn io() -> IoManager {
         IoManager::new(&DeviceSetup::paper(64, 128, 16))
@@ -340,11 +566,13 @@ mod tests {
         let io = io();
         let mut clk = Clk::new();
         let data = vec![3u8; 64];
-        io.write_disk_sync(&mut clk, PageId(5), &data, Locality::Random);
+        io.write_disk_sync(&mut clk, PageId(5), &data, Locality::Random)
+            .unwrap();
         let after_write = clk.now;
         assert!(after_write > 0);
         let mut buf = vec![0u8; 64];
-        io.read_disk(&mut clk, PageId(5), &mut buf, Locality::Random);
+        io.read_disk(&mut clk, PageId(5), &mut buf, Locality::Random)
+            .unwrap();
         assert_eq!(buf, data);
         assert!(clk.now > after_write);
     }
@@ -353,11 +581,14 @@ mod tests {
     fn async_write_does_not_advance_clock_but_is_visible() {
         let io = io();
         let mut clk = Clk::new();
-        let done = io.write_disk_async(clk.now, PageId(1), &[9u8; 64], Locality::Random);
+        let done = io
+            .write_disk_async(clk.now, PageId(1), &[9u8; 64], Locality::Random)
+            .unwrap();
         assert_eq!(clk.now, 0);
         assert!(done > 0);
         let mut buf = vec![0u8; 64];
-        io.read_disk(&mut clk, PageId(1), &mut buf, Locality::Random);
+        io.read_disk(&mut clk, PageId(1), &mut buf, Locality::Random)
+            .unwrap();
         assert_eq!(buf[0], 9);
         // The read queued behind the async write on the same disk.
         assert!(clk.now >= done);
@@ -368,9 +599,12 @@ mod tests {
         let io = io();
         let mut clk = Clk::new();
         for i in 0..4u64 {
-            io.write_disk_async(0, PageId(10 + i), &[i as u8; 64], Locality::Sequential);
+            io.write_disk_async(0, PageId(10 + i), &[i as u8; 64], Locality::Sequential)
+                .unwrap();
         }
-        let pages = io.read_disk_run(&mut clk, PageId(10), 4, Locality::Sequential);
+        let pages = io
+            .read_disk_run(&mut clk, PageId(10), 4, Locality::Sequential)
+            .unwrap();
         for (i, p) in pages.iter().enumerate() {
             assert_eq!(p.as_slice()[0], i as u8);
         }
@@ -380,14 +614,129 @@ mod tests {
     fn ssd_round_trip() {
         let io = io();
         let mut clk = Clk::new();
-        io.write_ssd_sync(&mut clk, 3, &[0xCD; 64], PageId(77));
+        io.write_ssd_sync(&mut clk, 3, &[0xCD; 64], PageId(77))
+            .unwrap();
         let mut buf = vec![0u8; 64];
-        io.read_ssd(&mut clk, 3, &mut buf);
+        io.read_ssd(&mut clk, 3, &mut buf).unwrap();
         assert_eq!(buf[0], 0xCD);
         assert_eq!(io.ssd_stats().read_pages, 1);
         assert_eq!(io.ssd_stats().write_pages, 1);
         assert_eq!(io.ssd_tag(3), Some(PageId(77)));
         assert_eq!(io.ssd_tag(4), None);
+    }
+
+    #[test]
+    fn ssd_death_rejects_everything_after_the_instant() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.write_ssd_sync(&mut clk, 0, &[1u8; 64], PageId(9))
+            .unwrap();
+        let death = clk.now + 1;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(FaultConfig::death(1, death)))));
+        let mut buf = vec![0u8; 64];
+        // Still alive right now (clk.now < death).
+        io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+        clk.wait_until(death);
+        let e = io.read_ssd(&mut clk, 0, &mut buf).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::DeviceDead);
+        assert_eq!(e.device, FaultDevice::Ssd);
+        let e = io
+            .write_ssd_async(clk.now, 1, &[0u8; 64], PageId(2))
+            .unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::DeviceDead);
+        // The disk is unaffected.
+        io.write_disk_sync(&mut clk, PageId(0), &[5u8; 64], Locality::Random)
+            .unwrap();
+    }
+
+    #[test]
+    fn torn_ssd_write_is_caught_by_the_checksum() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.write_ssd_sync(&mut clk, 2, &[0x11; 64], PageId(4))
+            .unwrap();
+        let mut cfg = FaultConfig::quiet(5);
+        cfg.torn_write_prob = 1.0;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(cfg))));
+        io.write_ssd_sync(&mut clk, 2, &[0x22; 64], PageId(4))
+            .unwrap();
+        io.set_ssd_fault(None);
+        let mut buf = vec![0u8; 64];
+        let e = io.read_ssd(&mut clk, 2, &mut buf).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::ChecksumMismatch);
+        // The damaged frame is a prefix of new bytes over old bytes.
+        assert_eq!(buf[0], 0x22);
+        assert_eq!(buf[63], 0x11);
+    }
+
+    #[test]
+    fn bitflip_is_caught_by_the_checksum() {
+        let io = io();
+        let mut clk = Clk::new();
+        let mut cfg = FaultConfig::quiet(6);
+        cfg.bitflip_prob = 1.0;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(cfg))));
+        io.write_ssd_sync(&mut clk, 7, &[0xAB; 64], PageId(1))
+            .unwrap();
+        io.set_ssd_fault(None);
+        let mut buf = vec![0u8; 64];
+        let e = io.read_ssd(&mut clk, 7, &mut buf).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::ChecksumMismatch);
+        // A clean rewrite repairs the frame.
+        io.write_ssd_sync(&mut clk, 7, &[0xAB; 64], PageId(1))
+            .unwrap();
+        io.read_ssd(&mut clk, 7, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xAB; 64]);
+    }
+
+    #[test]
+    fn torn_disk_run_persists_prefix_and_reports_failure() {
+        let io = io();
+        let mut clk = Clk::new();
+        let mut cfg = FaultConfig::quiet(0xBEEF);
+        cfg.torn_write_prob = 1.0;
+        io.set_disk_fault(Some(Arc::new(FaultPlan::new(cfg))));
+        let pages: Vec<Vec<u8>> = (0..4).map(|i| vec![0x40 + i as u8; 64]).collect();
+        let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+        let e = io
+            .write_disk_run_async(clk.now, PageId(20), &refs)
+            .unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::TransientWrite);
+        io.set_disk_fault(None);
+        // Some strict prefix of the run landed; the tail reads as zeroes.
+        let got = io
+            .read_disk_run(&mut clk, PageId(20), 4, Locality::Sequential)
+            .unwrap();
+        let persisted = got.iter().take_while(|p| p.as_slice()[0] != 0).count();
+        assert!((1..4).contains(&persisted), "persisted {persisted} pages");
+        for (i, p) in got.iter().enumerate().take(persisted) {
+            assert_eq!(p.as_slice()[0], 0x40 + i as u8);
+        }
+    }
+
+    #[test]
+    fn transient_disk_errors_replay_per_seed() {
+        let run = || {
+            let io = io();
+            io.set_disk_fault(Some(Arc::new(FaultPlan::new(FaultConfig::transient(
+                0xD15C, 0.25,
+            )))));
+            let mut clk = Clk::new();
+            let mut buf = vec![0u8; 64];
+            let outcomes: Vec<bool> = (0..64)
+                .map(|i| {
+                    io.read_disk(&mut clk, PageId(i % 8), &mut buf, Locality::Random)
+                        .is_ok()
+                })
+                .collect();
+            let stats = io.disk_fault().expect("plan attached").stats();
+            (outcomes, stats)
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.read_errors > 0);
     }
 
     #[test]
@@ -406,7 +755,7 @@ mod tests {
     fn queue_depth_reflects_outstanding_async_writes() {
         let io = io();
         for f in 0..5 {
-            io.write_ssd_async(0, f, &[0u8; 64], PageId(f));
+            io.write_ssd_async(0, f, &[0u8; 64], PageId(f)).unwrap();
         }
         assert!(io.ssd_queue_depth(0) >= 4);
         let far = 10 * crate::clock::SECOND;

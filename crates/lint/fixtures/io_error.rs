@@ -1,0 +1,61 @@
+//! Seeded violations for L6 `io-error`: a `Result<_, IoError>` from the
+//! storage stack must not be unwrapped or discarded in non-test code.
+//! Scanned by the lint self-tests only; never compiled.
+
+fn bad_unwrap(&self, clk: &mut Clk, pid: PageId, buf: &mut [u8]) {
+    // Violation: unwrapping an I/O result aborts instead of degrading.
+    self.io.read_disk(clk, pid, buf, Locality::Random).unwrap();
+}
+
+fn bad_expect(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) {
+    // Violation: expect() is the same abort with a nicer epitaph.
+    self.io.read_ssd(clk, frame, buf).expect("ssd read");
+}
+
+fn bad_discard(&self, now: Time, pid: PageId, data: &[u8]) {
+    // Violation: dropping the Result loses a possible write failure —
+    // for LC that is committed data silently evaporating.
+    let _ = self.io.write_disk_async(now, pid, data, Locality::Random);
+}
+
+fn bad_multiline_discard(&self, now: Time, frame: u64, data: &[u8], pid: PageId) {
+    // Violation: statement-granular, so the spill across lines still fires.
+    let _ = self
+        .io
+        .write_ssd_async(now, frame, data, pid);
+}
+
+fn good_propagates(&self, clk: &mut Clk, pid: PageId, buf: &mut [u8]) -> Result<(), IoError> {
+    // Fine: the error reaches the caller.
+    self.io.read_disk(clk, pid, buf, Locality::Random)?;
+    Ok(())
+}
+
+fn good_matched(&self, now: Time, frame: u64, data: &[u8], pid: PageId) {
+    // Fine: both arms are handled.
+    match self.io.write_ssd_async(now, frame, data, pid) {
+        Ok(t) => self.note_done(t),
+        Err(e) => self.note_ssd_error(&e),
+    }
+}
+
+fn good_justified(&self, now: Time, pid: PageId, data: &[u8]) {
+    // Fine: suppressed with a reason.
+    // lint: allow(io-error) — best-effort prefetch hint; failure is benign.
+    let _ = self.io.write_disk_async(now, pid, data, Locality::Random);
+}
+
+fn good_named_binding(&self, now: Time, pid: PageId, data: &[u8]) {
+    // Fine: `let _res` names (and can use) the result; only `_` discards.
+    let _res = self.io.write_disk_async(now, pid, data, Locality::Random);
+    self.consume(_res);
+}
+
+#[cfg(test)]
+mod tests {
+    // Fine: tests may unwrap I/O results freely.
+    fn test_path(&self) {
+        self.io.read_disk(clk, pid, buf, Locality::Random).unwrap();
+        let _ = self.io.write_disk_async(now, pid, data, Locality::Random);
+    }
+}

@@ -23,6 +23,12 @@
 //!   are exempt: those are transition tables, exhaustive per-row.)
 //! * **L5 `unsafe`** — the workspace is `unsafe`-free today; any `unsafe`
 //!   token must carry a `# Safety` comment explaining the contract.
+//! * **L6 `io-error`** — a call to a known `Result<_, IoError>`-returning
+//!   I/O method in non-test code of `crates/core` and `crates/bufpool`
+//!   must not be `.unwrap()`ed/`.expect()`ed or discarded with `let _ =`:
+//!   storage errors feed the graceful-degradation machinery (retry,
+//!   quarantine, WAL salvage) and silently dropping one loses data.
+//!   Justify exceptions with a `// lint: allow(io-error)` comment.
 //!
 //! Comments and string literals are scrubbed before token matching, so a
 //! rule name appearing in a doc comment or a message string never trips
@@ -43,6 +49,7 @@ pub enum Rule {
     LockOrder,
     DesignMatch,
     Unsafe,
+    IoError,
 }
 
 impl Rule {
@@ -53,6 +60,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::DesignMatch => "design-match",
             Rule::Unsafe => "unsafe",
+            Rule::IoError => "io-error",
         }
     }
 }
@@ -417,6 +425,7 @@ pub fn scan_file(cfg: &Config, rel: &Path, source: &str) -> Vec<Finding> {
         || rel_str.starts_with("crates/bufpool/src")
     {
         rule_panic(&p, rel, &mut out);
+        rule_io_error(&p, rel, &mut out);
     }
     rule_lock_order(cfg, &p, rel, &mut out);
     rule_design_match(&p, rel, &mut out);
@@ -487,6 +496,108 @@ fn rule_panic(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- L6 ----
+
+/// Methods known to return `Result<_, IoError>` across the storage stack.
+/// Matched as `.name(` so that `fn name(` declarations never fire.
+const IO_RESULT_METHODS: &[&str] = &[
+    "read_page",
+    "read_run",
+    "read_disk",
+    "read_disk_run",
+    "read_ssd",
+    "write_disk_async",
+    "write_disk_sync",
+    "write_disk_run_async",
+    "write_ssd_async",
+    "write_ssd_sync",
+    "prefetch_run",
+    "ssd_read",
+    "disk_read",
+    "disk_read_run",
+    "scan_heap",
+    "get_with_salvage",
+];
+
+/// L6: a `Result<_, IoError>` must reach the degradation machinery — flag
+/// statements that `.unwrap()`/`.expect(..)` such a result or throw it away
+/// with `let _ =`. Statement-granular so multi-line call chains are seen.
+fn rule_io_error(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    let mut stmt = String::new();
+    let mut stmt_line: Option<usize> = None;
+    let mut check = |stmt: &str, first_ln: Option<usize>, out: &mut Vec<Finding>| {
+        let Some(ln) = first_ln else { return };
+        if p.in_test[ln] || allowed(p, ln, Rule::IoError) {
+            return;
+        }
+        let called = IO_RESULT_METHODS
+            .iter()
+            .find(|m| match_method_call(stmt, m));
+        let Some(method) = called else { return };
+        let t = stmt.trim_start();
+        let discards = t.strip_prefix("let _").is_some_and(|rest| {
+            // `let _ =` exactly; `let _x =` names (and uses) the binding.
+            rest.trim_start().starts_with('=')
+        });
+        let unwraps = stmt.contains(".unwrap()") || stmt.contains(".expect(");
+        if discards || unwraps {
+            let how = if discards {
+                "discarded with `let _ =`"
+            } else {
+                "unwrapped"
+            };
+            out.push(Finding {
+                rule: Rule::IoError,
+                file: rel.to_path_buf(),
+                line: ln + 1,
+                message: format!(
+                    "`Result<_, IoError>` from `{method}` {how} — storage errors must \
+                     propagate to the retry/quarantine/salvage machinery, or be justified \
+                     with `// lint: allow(io-error)`"
+                ),
+            });
+        }
+    };
+    for (ln, code) in p.code.iter().enumerate() {
+        for ch in code.chars() {
+            match ch {
+                ';' | '{' | '}' => {
+                    check(&stmt, stmt_line, out);
+                    stmt.clear();
+                    stmt_line = None;
+                }
+                c => {
+                    if stmt_line.is_none() && !c.is_whitespace() {
+                        stmt_line = Some(ln);
+                    }
+                    stmt.push(c);
+                }
+            }
+        }
+        stmt.push(' ');
+    }
+    check(&stmt, stmt_line, out);
+}
+
+/// True if `stmt` contains a *call* `.name(` of the given method.
+fn match_method_call(stmt: &str, name: &str) -> bool {
+    let pat = format!(".{name}(");
+    let mut search = 0usize;
+    while let Some(pos) = stmt[search..].find(&pat) {
+        let at = search + pos;
+        search = at + pat.len();
+        // Reject matches inside longer identifiers: `.disk_read(` must not
+        // match within `.my_disk_read(` (the leading '.' already anchors
+        // the start, so only a false suffix match is possible — none, given
+        // the '.', but keep the check for clarity).
+        let after = at + 1 + name.len();
+        if stmt.as_bytes().get(after) == Some(&b'(') {
+            return true;
+        }
+    }
+    false
 }
 
 // ---------------------------------------------------------------- L3 ----
@@ -839,6 +950,52 @@ mod tests {
         // Test modules are exempt.
         let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
         assert!(scan("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn io_error_rule_fires_on_unwrap_and_discard() {
+        let unwrap = "fn f(&self) { self.io.read_disk(c, pid, buf, class).unwrap(); }\n";
+        assert!(scan("crates/core/src/x.rs", unwrap)
+            .iter()
+            .any(|f| f.rule == Rule::IoError));
+        let discard = "fn f(&self) { let _ = self.io.write_disk_async(n, pid, d, class); }\n";
+        assert!(scan("crates/bufpool/src/x.rs", discard)
+            .iter()
+            .any(|f| f.rule == Rule::IoError));
+        // Multi-line statements are still one statement.
+        let multiline =
+            "fn f(&self) {\n let _ = self\n  .io\n  .write_ssd_async(n, fr, d, pid);\n}\n";
+        assert!(scan("crates/core/src/x.rs", multiline)
+            .iter()
+            .any(|f| f.rule == Rule::IoError));
+    }
+
+    #[test]
+    fn io_error_rule_respects_scope_and_handling() {
+        // Propagation with `?` is the intended pattern.
+        let ok = "fn f(&self) -> Result<(), IoError> {\n self.io.read_disk(c, pid, b, cl)?;\n Ok(())\n}\n";
+        assert!(scan("crates/core/src/x.rs", ok)
+            .iter()
+            .all(|f| f.rule != Rule::IoError));
+        // A named binding is not a discard.
+        let named =
+            "fn f(&self) { let _r = self.io.write_disk_async(n, pid, d, cl); use_it(_r); }\n";
+        assert!(scan("crates/core/src/x.rs", named)
+            .iter()
+            .all(|f| f.rule != Rule::IoError));
+        // Out-of-scope crates and test modules are exempt.
+        let unwrap = "fn f(&self) { self.io.read_disk(c, pid, buf, class).unwrap(); }\n";
+        assert!(scan("crates/iosim/src/x.rs", unwrap).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn f(&self) { self.io.read_disk(c, p, b, l).unwrap(); }\n}\n";
+        assert!(scan("crates/core/src/x.rs", test_mod)
+            .iter()
+            .all(|f| f.rule != Rule::IoError));
+        // Suppression marker on the comment line above.
+        let allowed =
+            "fn f(&self) {\n // lint: allow(io-error) — best-effort hint\n let _ = self.io.write_disk_async(n, pid, d, cl);\n}\n";
+        assert!(scan("crates/core/src/x.rs", allowed)
+            .iter()
+            .all(|f| f.rule != Rule::IoError));
     }
 
     #[test]

@@ -61,6 +61,20 @@ fn panic_fixture_fires() {
 }
 
 #[test]
+fn io_error_fixture_fires() {
+    let f = fixture("io_error.rs");
+    let hits = f.iter().filter(|f| f.rule == Rule::IoError).count();
+    // unwrap, expect, discard, multi-line discard; the good_* functions
+    // and the test module must stay silent.
+    assert_eq!(hits, 4, "expected exactly the four seeded findings: {f:#?}");
+    let discards = f
+        .iter()
+        .filter(|f| f.rule == Rule::IoError && f.message.contains("let _ ="))
+        .count();
+    assert_eq!(discards, 2, "two of the four are discards: {f:#?}");
+}
+
+#[test]
 fn lock_order_fixture_fires() {
     let f = fixture("lock_order.rs");
     let hits: Vec<_> = f.iter().filter(|f| f.rule == Rule::LockOrder).collect();

@@ -21,7 +21,7 @@ pub mod recovery;
 
 pub use log::{LogManager, Lsn};
 pub use record::LogRecord;
-pub use recovery::{recover, RecoveryStats};
+pub use recovery::{recover, salvage, RecoveryStats};
 
 /// Transaction identifier.
 pub type TxId = u64;

@@ -273,10 +273,12 @@ impl Tpch {
     fn scan_lineitem(&self, clk: &mut Clk) {
         let mut rows = 0u64;
         let mut acc = 0u64;
-        self.db.scan_heap(clk, self.h_lineitem, |_, rec| {
-            rows += 1;
-            acc = acc.wrapping_add(u64::from_le_bytes(rec[16..24].try_into().unwrap()));
-        });
+        self.db
+            .scan_heap(clk, self.h_lineitem, |_, rec| {
+                rows += 1;
+                acc = acc.wrapping_add(u64::from_le_bytes(rec[16..24].try_into().unwrap()));
+            })
+            .unwrap();
         let pages = self.db.heap_meta(self.h_lineitem).used_pages();
         clk.elapse(pages * CPU_PER_PAGE);
         std::hint::black_box(acc);
@@ -316,12 +318,14 @@ impl Tpch {
         let every = (orders / target_probes).max(1);
         let offset = rng.gen_range(0..every);
         let mut probes: Vec<u64> = Vec::new();
-        self.db.scan_heap(clk, self.h_orders, |rid, rec| {
-            if rid % every == offset {
-                let cust = u64::from_le_bytes(rec[8..16].try_into().unwrap());
-                probes.push(cust % customers);
-            }
-        });
+        self.db
+            .scan_heap(clk, self.h_orders, |rid, rec| {
+                if rid % every == offset {
+                    let cust = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+                    probes.push(cust % customers);
+                }
+            })
+            .unwrap();
         let pages = self.db.heap_meta(self.h_orders).used_pages();
         clk.elapse(pages * CPU_PER_PAGE);
         let mut txn = self.db.begin(clk);
@@ -334,12 +338,16 @@ impl Tpch {
 
     fn small_tables(&self, clk: &mut Clk, frac: f64, rng: &mut SmallRng) {
         let mut acc = 0u64;
-        self.db.scan_heap(clk, self.h_part, |_, rec| {
-            acc = acc.wrapping_add(rec[8] as u64);
-        });
-        self.db.scan_heap(clk, self.h_supplier, |_, rec| {
-            acc = acc.wrapping_add(rec[8] as u64);
-        });
+        self.db
+            .scan_heap(clk, self.h_part, |_, rec| {
+                acc = acc.wrapping_add(rec[8] as u64);
+            })
+            .unwrap();
+        self.db
+            .scan_heap(clk, self.h_supplier, |_, rec| {
+                acc = acc.wrapping_add(rec[8] as u64);
+            })
+            .unwrap();
         let pages = self.db.heap_meta(self.h_part).used_pages()
             + self.db.heap_meta(self.h_supplier).used_pages();
         clk.elapse(pages * CPU_PER_PAGE);

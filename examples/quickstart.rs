@@ -46,7 +46,7 @@ fn main() {
     // A sequential scan goes through read-ahead and stays OUT of the SSD
     // (the admission policy only caches randomly read pages).
     let mut rows = 0u64;
-    db.scan_heap(&mut clk, users, |_, _| rows += 1);
+    db.scan_heap(&mut clk, users, |_, _| rows += 1).unwrap();
     assert_eq!(rows, 10_000);
 
     // Take a sharp checkpoint (flushes DRAM-dirty and SSD-dirty pages).

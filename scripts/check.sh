@@ -22,4 +22,7 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> fault matrix (invariant auditor compiled out: --no-default-features)"
+cargo test -q --no-default-features --test fault_injection --test crash_torture
+
 echo "All checks passed."

@@ -47,7 +47,8 @@ fn copies(db: &Database, pid: PageId) -> (Option<Vec<u8>>, Option<Vec<u8>>, Vec<
         let mut clk = Clk::new();
         let g = db
             .pool()
-            .get(&mut clk, pid, turbopool::iosim::Locality::Random);
+            .get(&mut clk, pid, turbopool::iosim::Locality::Random)
+            .unwrap();
         Some(g.read(|b| b.to_vec()))
     } else {
         None

@@ -7,24 +7,39 @@
 
 use std::collections::BTreeMap;
 
+use std::sync::Arc;
+
 use turbopool::core::{SsdConfig, SsdDesign};
 use turbopool::engine::{Database, DbConfig};
+use turbopool::iosim::fault::{FaultConfig, FaultPlan};
 use turbopool::iosim::rng::{Rng, SeedableRng, SmallRng};
 use turbopool::iosim::Clk;
 
 #[derive(Debug, Clone)]
 enum Op {
     Insert(u8),
-    Update { target: u16, val: u8 },
-    Delete { target: u16 },
+    Update {
+        target: u16,
+        val: u8,
+    },
+    Delete {
+        target: u16,
+    },
     AbortedInsert,
     Checkpoint,
     Crash,
+    /// The SSD dies at the current virtual time (no-op for noSSD); the
+    /// design must degrade without losing any committed state.
+    SsdDeath,
+    /// Attach low-probability transient read/write errors to both devices;
+    /// the retry policies must absorb them invisibly.
+    TransientIoError,
 }
 
-/// Weighted op draw matching the old proptest strategy (5:4:1:1:1:2).
+/// Weighted op draw: the original 5:4:1:1:1:2 mix plus one slot each for
+/// the two device-fault ops.
 fn draw_op(rng: &mut SmallRng) -> Op {
-    match rng.gen_range(0u32..14) {
+    match rng.gen_range(0u32..16) {
         0..=4 => Op::Insert(rng.gen()),
         5..=8 => Op::Update {
             target: rng.gen(),
@@ -33,7 +48,9 @@ fn draw_op(rng: &mut SmallRng) -> Op {
         9 => Op::Delete { target: rng.gen() },
         10 => Op::AbortedInsert,
         11 => Op::Checkpoint,
-        _ => Op::Crash,
+        12..=13 => Op::Crash,
+        14 => Op::SsdDeath,
+        _ => Op::TransientIoError,
     }
 }
 
@@ -74,7 +91,8 @@ fn verify(db: &Database, h: usize, idx: usize, model: &BTreeMap<u64, (u8, u8)>) 
     db.scan_heap(&mut clk, h, |rid, _| {
         assert!(model.contains_key(&rid), "phantom rid {rid} after recovery");
         count += 1;
-    });
+    })
+    .unwrap();
     assert_eq!(count, model.len(), "record count mismatch");
 }
 
@@ -93,6 +111,9 @@ fn committed_state_survives_random_crashes() {
         let idx = db.create_index(&mut clk, "pk", 256);
         // Model: rid -> (byte0, byte1) of committed records.
         let mut model: BTreeMap<u64, (u8, u8)> = BTreeMap::new();
+        // Fault plans stay attached across crashes (the devices survive).
+        let mut ssd_plan: Option<Arc<FaultPlan>> = None;
+        let mut disk_plan: Option<Arc<FaultPlan>> = None;
 
         for op in ops {
             match op {
@@ -144,6 +165,29 @@ fn committed_state_survives_random_crashes() {
                     db = db2;
                     clk = Clk::new();
                     verify(&db, h, idx, &model);
+                }
+                Op::SsdDeath => {
+                    let plan = ssd_plan.get_or_insert_with(|| {
+                        let p = Arc::new(FaultPlan::new(FaultConfig::quiet(case)));
+                        db.io().set_ssd_fault(Some(Arc::clone(&p)));
+                        p
+                    });
+                    plan.kill(clk.now);
+                }
+                Op::TransientIoError => {
+                    // Low enough that the capped retry policy virtually
+                    // never exhausts (final-failure odds ~p^6 per request).
+                    disk_plan.get_or_insert_with(|| {
+                        let p = Arc::new(FaultPlan::new(FaultConfig::transient(case, 0.02)));
+                        db.io().set_disk_fault(Some(Arc::clone(&p)));
+                        p
+                    });
+                    ssd_plan.get_or_insert_with(|| {
+                        let p =
+                            Arc::new(FaultPlan::new(FaultConfig::transient(case ^ 0xDEAD, 0.02)));
+                        db.io().set_ssd_fault(Some(Arc::clone(&p)));
+                        p
+                    });
                 }
             }
         }

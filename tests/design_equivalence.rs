@@ -80,7 +80,8 @@ fn run_workload(db: &Database, seed: u64, txns: usize, with_checkpoints: bool) -
     db.scan_heap(&mut clk, h, |rid, rec| {
         digest.extend_from_slice(&rid.to_le_bytes());
         digest.extend_from_slice(rec);
-    });
+    })
+    .unwrap();
     live.sort_unstable();
     let mut txn = db.begin(&mut clk);
     for &(key, rid) in &live {
@@ -131,7 +132,8 @@ fn all_designs_identical_after_crash_recovery() {
         db2.scan_heap(&mut clk, 0, |rid, rec| {
             digest.extend_from_slice(&rid.to_le_bytes());
             digest.extend_from_slice(rec);
-        });
+        })
+        .unwrap();
         match &reference {
             None => reference = Some(digest),
             Some(r) => assert_eq!(r, &digest, "post-recovery contents diverged under {d:?}"),

@@ -47,7 +47,9 @@ fn drive(io: &dyn PageIo, seed: u64, ops: usize) {
                 }
                 io.evict_page(clk.now, pid, &data, dirty, class);
             }
-            4..=6 => io.read_page(&mut clk, pid, class, &mut buf),
+            4..=6 => {
+                io.read_page(&mut clk, pid, class, &mut buf).unwrap();
+            }
             7 => {
                 let first = PageId(rng.gen_range(0..PIDS - 16));
                 let n = rng.gen_range(2u64..16);
@@ -152,7 +154,7 @@ fn engine_workload_reports_zero_audit_violations() {
                     // Scans push run reads through the cache (the TAC
                     // stale-copy path regression lives here).
                     txn.commit();
-                    db.scan_heap(&mut clk, h, |_, _| {});
+                    db.scan_heap(&mut clk, h, |_, _| {}).unwrap();
                     continue;
                 }
             }

@@ -68,7 +68,7 @@ fn warm_restart_readopts_checkpointed_pages() {
     for i in 0..meta.used_pages() {
         let pid = meta.first.offset(i);
         if mgr.contains(pid) {
-            let g = db2.pool().get(&mut clk, pid, Locality::Random);
+            let g = db2.pool().get(&mut clk, pid, Locality::Random).unwrap();
             g.read(|_| ());
             hits += 1;
         }
