@@ -394,10 +394,14 @@ fn throttle() {
 }
 
 fn main() {
+    let timer = turbopool_bench::WallTimer::start();
     classifier_accuracy();
     tac_waste();
     multipage();
     partitioning();
     filling();
     throttle();
+    turbopool_bench::BenchReport::new("ablation")
+        .standard(timer.secs(), 1, 0, 0)
+        .emit();
 }

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use turbopool_bench::{run_hours, run_oltp, OltpKind, RunOptions, Table};
+use turbopool_bench::{run_hours, run_oltp, BenchReport, OltpKind, RunOptions, Table, WallTimer};
 use turbopool_workload::scenario::Design;
 use turbopool_workload::tpch::{self, Tpch};
 
@@ -125,6 +125,7 @@ fn cw_note() {
 }
 
 fn main() {
+    let timer = WallTimer::start();
     let quick = turbopool_bench::quick();
     let hours = run_hours();
 
@@ -223,4 +224,7 @@ fn main() {
         cw_note();
     }
     println!("\n(*metrics are scaled: divide paper absolute numbers by 1000 to compare; speedups are scale-free.)");
+    BenchReport::new("fig5")
+        .standard(timer.secs(), 1, hours, 0)
+        .emit();
 }

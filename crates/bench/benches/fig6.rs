@@ -4,6 +4,11 @@
 //! (c) TPC-E 20K customers, (d) TPC-E 40K customers;
 //! each with LC, DW, TAC and noSSD. Six-minute buckets, like the paper.
 //!
+//! The four designs of each panel run *concurrently* as share-nothing
+//! driver domains (`run_oltp_set`) — results are bit-identical to
+//! running them one at a time, only wall-clock time changes. Set
+//! `TURBO_THREADS=1` to force the sequential schedule.
+//!
 //! Expected shape (paper §4.2.1 / §4.3.1):
 //! * LC on TPC-C climbs steeply, then drops when the dirty SSD pages cross
 //!   the λ=50% threshold (~1:50h at 2K, ~2:30h at 4K) and the cleaner
@@ -11,20 +16,36 @@
 //! * TPC-E ramps slowly (the SSD fills at the random-read speed of the
 //!   disks); checkpoint dips every ~40 minutes.
 
-use turbopool_bench::{run_hours, run_oltp, OltpKind, RunOptions};
+use turbopool_bench::{
+    bench_threads, run_hours, run_oltp_set, BenchReport, Json, OltpKind, RunOptions, WallTimer,
+};
 use turbopool_workload::scenario::Design;
 
-fn panel(name: &str, kind: OltpKind, opts: &RunOptions) {
+const DESIGNS: [Design; 4] = [Design::Lc, Design::Dw, Design::Tac, Design::NoSsd];
+
+fn panel(name: &str, kind: OltpKind, opts: &RunOptions, threads: usize) -> (Json, u64) {
     println!("\n== Figure 6 {name} ==");
-    for design in [Design::Lc, Design::Dw, Design::Tac, Design::NoSsd] {
-        let run = run_oltp(kind, design, opts);
+    let set = run_oltp_set(kind, &DESIGNS, opts, threads);
+    let mut rates = Vec::new();
+    for run in &set.runs {
         println!(
             "\n--- {} (last-hour rate {:.2}/min) ---",
-            design.label(),
+            run.design.label(),
             run.last_hour_per_min
         );
         print!("{}", render(&run.series));
+        rates.push((
+            run.design.label().to_string(),
+            Json::Num(run.last_hour_per_min),
+        ));
     }
+    let entry = Json::Obj(vec![
+        ("panel".to_string(), Json::Str(name.to_string())),
+        ("drive_secs".to_string(), Json::Num(set.drive_secs)),
+        ("steps".to_string(), Json::Int(set.steps)),
+        ("last_hour_per_min".to_string(), Json::Obj(rates)),
+    ]);
+    (entry, set.steps)
 }
 
 /// Render a (hours, per-minute) series as one line per ~30 buckets.
@@ -48,27 +69,48 @@ fn render(series: &[(f64, f64)]) -> String {
 fn main() {
     let hours = run_hours();
     let quick = turbopool_bench::quick();
-    panel(
+    let threads = bench_threads();
+    let timer = WallTimer::start();
+    let mut panels = Vec::new();
+    let mut steps = 0u64;
+
+    let (entry, s) = panel(
         "(a): TPC-C 2K warehouses (tpmC*)",
         OltpKind::TpcC { warehouses: 20 },
         &RunOptions::tpcc(hours),
+        threads,
     );
+    panels.push(entry);
+    steps += s;
     if !quick {
-        panel(
-            "(b): TPC-C 4K warehouses (tpmC*)",
-            OltpKind::TpcC { warehouses: 40 },
-            &RunOptions::tpcc(hours),
-        );
-        panel(
-            "(c): TPC-E 20K customers (trades/min*)",
-            OltpKind::TpcE { customers: 2_000 },
-            &RunOptions::tpce(hours),
-        );
-        panel(
-            "(d): TPC-E 40K customers (trades/min*)",
-            OltpKind::TpcE { customers: 4_000 },
-            &RunOptions::tpce(hours),
-        );
+        for (name, kind, opts) in [
+            (
+                "(b): TPC-C 4K warehouses (tpmC*)",
+                OltpKind::TpcC { warehouses: 40 },
+                RunOptions::tpcc(hours),
+            ),
+            (
+                "(c): TPC-E 20K customers (trades/min*)",
+                OltpKind::TpcE { customers: 2_000 },
+                RunOptions::tpce(hours),
+            ),
+            (
+                "(d): TPC-E 40K customers (trades/min*)",
+                OltpKind::TpcE { customers: 4_000 },
+                RunOptions::tpce(hours),
+            ),
+        ] {
+            let (entry, s) = panel(name, kind, &opts, threads);
+            panels.push(entry);
+            steps += s;
+        }
     }
     println!("\n(*scaled rates; shapes and crossover times are the comparable quantities.)");
+
+    let virtual_ns = hours.saturating_mul(panels.len() as u64 * DESIGNS.len() as u64);
+    let mut report = BenchReport::new("fig6");
+    report
+        .standard(timer.secs(), threads, virtual_ns, steps)
+        .set("panels", Json::Arr(panels));
+    report.emit();
 }

@@ -5,11 +5,12 @@
 //! ≈ 1.6X over λ=50%), and the cleaner issues fewer disk IOPS
 //! (521 / 769 / 950 at λ = 90/50/10%).
 
-use turbopool_bench::{run_hours, run_oltp, OltpKind, RunOptions, Table};
+use turbopool_bench::{run_hours, run_oltp, BenchReport, OltpKind, RunOptions, Table, WallTimer};
 use turbopool_iosim::SECOND;
 use turbopool_workload::scenario::Design;
 
 fn main() {
+    let timer = WallTimer::start();
     let hours = run_hours();
     let warehouses = if turbopool_bench::quick() { 20 } else { 40 };
     println!(
@@ -67,4 +68,7 @@ fn main() {
     }
     println!("\n(paper cleaner IOPS at full scale: 950 / 769 / 521 for λ = 10/50/90%;");
     println!(" scaled values are 1000x smaller — compare the monotone decrease.)");
+    BenchReport::new("fig7")
+        .standard(timer.secs(), 1, hours.saturating_mul(3), 0)
+        .emit();
 }

@@ -37,6 +37,7 @@ fn render(name: &str, series: &[(Time, u64, u64)], bucket: Time) {
 }
 
 fn main() {
+    let timer = turbopool_bench::WallTimer::start();
     println!("== Figure 8: device traffic, TPC-E 20K customers, DW ==");
     let bucket = 6 * MINUTE;
     let opts = RunOptions {
@@ -53,4 +54,7 @@ fn main() {
     );
     println!("Paper: disks saturate ~6.5 MB/s of random traffic; SSD peaks ~46 MB/s read,");
     println!("far below its ~95 MB/s capability — the disks are the bottleneck.");
+    turbopool_bench::BenchReport::new("fig8")
+        .standard(timer.secs(), 1, run_hours(), 0)
+        .emit();
 }

@@ -9,7 +9,7 @@
 //!   which then takes very long (all accumulated dirty SSD pages must be
 //!   flushed) and throughput collapses for the duration.
 
-use turbopool_bench::{run_hours, run_oltp, OltpKind, RunOptions};
+use turbopool_bench::{run_hours, run_oltp, BenchReport, OltpKind, RunOptions, WallTimer};
 use turbopool_iosim::{HOUR, MINUTE};
 use turbopool_workload::scenario::Design;
 
@@ -29,6 +29,7 @@ fn render(series: &[(f64, f64)]) {
 }
 
 fn main() {
+    let timer = WallTimer::start();
     // The paper runs this for 13 hours; honor TURBO_HOURS but add the
     // extra 3 hours so the post-first-checkpoint behaviour of LC-5h shows.
     let hours = run_hours()
@@ -65,4 +66,7 @@ fn main() {
             render(&run.series);
         }
     }
+    BenchReport::new("fig9")
+        .standard(timer.secs(), 1, hours.saturating_mul(4), 0)
+        .emit();
 }

@@ -3,14 +3,18 @@
 //! registry access, so no criterion): each benchmark runs a warmup batch,
 //! then reports mean ns/iter over a fixed iteration budget.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use turbopool_bench::{BenchReport, Json, WallTimer};
 use turbopool_bufpool::{Lru2, PageIo};
 use turbopool_core::heaps::{DualHeap, Side};
 use turbopool_core::partition::Partition;
-use turbopool_core::{SsdConfig, SsdDesign, SsdManager};
+use turbopool_core::{PageBufPool, SsdConfig, SsdDesign, SsdManager};
 use turbopool_engine::{Database, DbConfig};
 use turbopool_iosim::{Clk, DeviceSetup, IoManager, Locality, PageId};
+
+/// `(name, ns_per_iter, iters)` rows collected for BENCH_micro.json.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
 
 /// Time `iters` calls of `f` after `iters / 10` warmup calls and print
 /// mean ns/iter. Wall-clock by necessity: these measure real CPU cost of
@@ -26,10 +30,11 @@ fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
         f();
     }
     let elapsed = t0.elapsed();
-    println!(
-        "{name:<34} {:>10.1} ns/iter ({iters} iters)",
-        elapsed.as_nanos() as f64 / iters as f64
-    );
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<34} {ns:>10.1} ns/iter ({iters} iters)");
+    if let Ok(mut r) = RESULTS.lock() {
+        r.push((name.to_string(), ns, iters));
+    }
 }
 
 fn bench_dual_heap() {
@@ -95,6 +100,27 @@ fn bench_ssd_manager() {
     });
 }
 
+/// The clean-batch staging-buffer delta (ISSUE 4 satellite): gathering a
+/// page used to allocate a fresh `Vec<u8>` per page; `PageBufPool`
+/// recycles them. Both variants do the same page-sized fill the gather
+/// path does, so the difference is purely the allocator round-trip.
+fn bench_page_buf() {
+    const PAGE: usize = 8192;
+    let src = vec![0xA5u8; PAGE];
+    bench("page_buf_alloc_fresh", 200_000, || {
+        let mut buf = vec![0u8; PAGE];
+        buf.copy_from_slice(&src);
+        std::hint::black_box(&buf);
+    });
+    let pool = PageBufPool::new(PAGE, 64);
+    bench("page_buf_pool_reuse", 200_000, || {
+        let mut buf = pool.take();
+        buf.copy_from_slice(&src);
+        std::hint::black_box(&buf);
+        pool.put(buf);
+    });
+}
+
 fn bench_engine() {
     {
         let mut cfg = DbConfig::small_for_tests();
@@ -143,9 +169,30 @@ fn bench_engine() {
 }
 
 fn main() {
+    let timer = WallTimer::start();
     bench_dual_heap();
     bench_partition();
     bench_lru2();
     bench_ssd_manager();
+    bench_page_buf();
     bench_engine();
+
+    let rows = RESULTS.lock().map(|r| r.clone()).unwrap_or_default();
+    let total_iters: u64 = rows.iter().map(|&(_, _, n)| n).sum();
+    let results = rows
+        .iter()
+        .map(|(name, ns, iters)| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(name.clone())),
+                ("ns_per_iter".to_string(), Json::Num(*ns)),
+                ("iters".to_string(), Json::Int(*iters)),
+            ])
+        })
+        .collect();
+    let mut report = BenchReport::new("micro");
+    // Microbenches have no virtual-time component; steps = iterations.
+    report
+        .standard(timer.secs(), 1, 0, total_iters)
+        .set("results", Json::Arr(results));
+    report.emit();
 }

@@ -53,6 +53,7 @@ fn ssd_iops(kind: IoKind, loc: Locality) -> f64 {
 }
 
 fn main() {
+    let timer = turbopool_bench::WallTimer::start();
     println!("== Table 1: maximum sustainable IOPS (8 KB I/Os) ==\n");
     let mut t = turbopool_bench::Table::new(vec!["device", "op", "paper", "measured", "ratio"]);
     type Case = (&'static str, IoKind, Locality, f64, Box<dyn Fn() -> f64>);
@@ -114,8 +115,17 @@ fn main() {
             Box::new(|| ssd_iops(IoKind::Write, Locality::Sequential)),
         ),
     ];
+    let mut rows = Vec::new();
     for (dev, kind, loc, paper, f) in cases {
         let got = f();
+        rows.push(turbopool_bench::Json::Obj(vec![
+            (
+                "case".to_string(),
+                turbopool_bench::Json::Str(format!("{dev} {loc:?} {kind:?}")),
+            ),
+            ("paper_iops".to_string(), turbopool_bench::Json::Num(paper)),
+            ("measured_iops".to_string(), turbopool_bench::Json::Num(got)),
+        ]));
         t.row(vec![
             dev.to_string(),
             format!("{:?} {:?}", loc, kind),
@@ -126,4 +136,9 @@ fn main() {
     }
     t.print();
     println!("\n(Every ratio should be ~1.00: the devices are calibrated to Table 1.)");
+    let mut report = turbopool_bench::BenchReport::new("table1");
+    report
+        .standard(timer.secs(), 1, 0, 0)
+        .set("cases", turbopool_bench::Json::Arr(rows));
+    report.emit();
 }

@@ -16,12 +16,13 @@
 
 use std::sync::Arc;
 
-use turbopool_bench::Table;
+use turbopool_bench::{BenchReport, Table, WallTimer};
 use turbopool_iosim::Clk;
 use turbopool_workload::scenario::Design;
 use turbopool_workload::tpch::{self, Tpch};
 
 fn main() {
+    let timer = WallTimer::start();
     println!("== Table 3: TPC-H power / throughput / QphH (scaled) ==\n");
     let paper: &[(u64, [[f64; 4]; 3])] = &[
         (
@@ -94,4 +95,7 @@ fn main() {
         println!();
     }
     println!("(Scaled metrics; compare ratios. Expect throughput-test gains > power-test gains.)");
+    BenchReport::new("table3")
+        .standard(timer.secs(), 1, 0, 0)
+        .emit();
 }

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use turbopool_bench::Table;
+use turbopool_bench::{BenchReport, Table, WallTimer};
 use turbopool_iosim::{Clk, HOUR, MINUTE};
 use turbopool_workload::driver::{Driver, ThroughputRecorder};
 use turbopool_workload::scenario::Design;
@@ -59,6 +59,7 @@ fn experiment(warm: bool) -> (f64, f64, u64) {
 }
 
 fn main() {
+    let timer = WallTimer::start();
     println!("== Warm restart (paper §6 future work, implemented) ==\n");
     let mut table = Table::new(vec![
         "restart",
@@ -86,4 +87,7 @@ fn main() {
     println!("\nA cold restart re-enters the multi-hour SSD ramp of Figure 6 (its");
     println!("first-30-minute rate falls well below the pre-crash rate); the warm");
     println!("restart resumes at or above the pre-crash rate immediately.");
+    BenchReport::new("warmstart")
+        .standard(timer.secs(), 1, 0, 0)
+        .emit();
 }

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use turbopool_core::metrics::SsdMetricsSnapshot;
-use turbopool_iosim::{Time, HOUR, MINUTE};
+use turbopool_engine::Database;
+use turbopool_iosim::{Time, HOUR, MILLISECOND, MINUTE};
 use turbopool_workload::driver::{CheckpointClient, CleanerClient, Driver, ThroughputRecorder};
 use turbopool_workload::scenario::Design;
 use turbopool_workload::{tpcc::Tpcc, tpce::Tpce};
@@ -86,26 +87,30 @@ pub struct OltpRun {
     pub tac_invalid_frames: u64,
 }
 
-/// Run one OLTP experiment end to end: build + bulk load the database,
-/// attach terminals plus the checkpointer/cleaner pseudo-clients, run for
-/// `opts.duration` of virtual time, and collect every statistic the
-/// figures need.
-pub fn run_oltp(kind: OltpKind, design: Design, opts: &RunOptions) -> OltpRun {
-    let metric = ThroughputRecorder::new(6 * MINUTE);
-    let mut driver = Driver::new();
-
+/// Build + bulk load one design's database and attach its terminals plus
+/// the checkpointer/cleaner pseudo-clients, all inside driver `domain`.
+/// Each call owns a whole Database, so distinct domains are share-nothing
+/// and the parallel driver may step them on different worker threads.
+fn attach(
+    kind: OltpKind,
+    design: Design,
+    opts: &RunOptions,
+    driver: &mut Driver,
+    domain: usize,
+    metric: &Arc<ThroughputRecorder>,
+) -> Arc<Database> {
     let db = match kind {
         OltpKind::TpcC { warehouses } => {
             let t = Arc::new(Tpcc::setup(design, warehouses, opts.lambda));
             for c in 0..opts.clients {
-                driver.add(0, Box::new(t.client(c as u64, Arc::clone(&metric))));
+                driver.add_in_domain(domain, 0, Box::new(t.client(c as u64, Arc::clone(metric))));
             }
             Arc::clone(&t.db)
         }
         OltpKind::TpcE { customers } => {
             let t = Arc::new(Tpce::setup(design, customers, opts.lambda));
             for c in 0..opts.clients {
-                driver.add(0, Box::new(t.client(c as u64, Arc::clone(&metric))));
+                driver.add_in_domain(domain, 0, Box::new(t.client(c as u64, Arc::clone(metric))));
             }
             Arc::clone(&t.db)
         }
@@ -115,17 +120,25 @@ pub fn run_oltp(kind: OltpKind, design: Design, opts: &RunOptions) -> OltpRun {
         db.io().enable_series(bucket);
     }
     if let Some(interval) = opts.checkpoint {
-        driver.add(
+        driver.add_in_domain(
+            domain,
             0,
             Box::new(CheckpointClient::new(Arc::clone(&db), interval)),
         );
     }
     if let Some(cleaner) = CleanerClient::for_db(&db) {
-        driver.add(0, Box::new(cleaner));
+        driver.add_in_domain(domain, 0, Box::new(cleaner));
     }
+    db
+}
 
-    driver.run_until(opts.duration);
-
+/// Collect every statistic the figures need from a finished run.
+fn collect(
+    design: Design,
+    metric: Arc<ThroughputRecorder>,
+    opts: &RunOptions,
+    db: &Database,
+) -> OltpRun {
     let last_hour_start = opts.duration.saturating_sub(HOUR);
     let last_hour_per_min = metric.rate_between(last_hour_start, opts.duration, MINUTE);
     // Drop the trailing partial bucket (overshoot artifacts).
@@ -147,6 +160,77 @@ pub fn run_oltp(kind: OltpKind, design: Design, opts: &RunOptions) -> OltpRun {
     }
 }
 
+/// Run one OLTP experiment end to end: build + bulk load the database,
+/// attach terminals plus the checkpointer/cleaner pseudo-clients, run for
+/// `opts.duration` of virtual time, and collect every statistic the
+/// figures need.
+pub fn run_oltp(kind: OltpKind, design: Design, opts: &RunOptions) -> OltpRun {
+    let metric = ThroughputRecorder::new(6 * MINUTE);
+    let mut driver = Driver::new();
+    let db = attach(kind, design, opts, &mut driver, 0, &metric);
+    driver.run_until(opts.duration);
+    collect(design, metric, opts, &db)
+}
+
+/// Several designs' results plus the shared-driver totals.
+pub struct OltpSet {
+    /// One completed run per requested design, in input order.
+    pub runs: Vec<OltpRun>,
+    /// Total client steps executed across all designs.
+    pub steps: u64,
+    /// Worker threads the driver was given.
+    pub threads: usize,
+    /// Wall-clock seconds of the drive phase alone (setup/bulk-load is
+    /// serial and excluded, so scaling numbers measure the simulation).
+    pub drive_secs: f64,
+}
+
+/// How many minimum-service quanta one parallel window spans. Windows
+/// only bound how far share-nothing domains drift apart in virtual time
+/// (bit-identity holds for any width — see the driver docs), so a wide
+/// window amortizes the per-window merge without changing results.
+const WINDOW_QUANTA: u64 = 4096;
+
+/// Run one OLTP experiment per design *concurrently*: each design gets
+/// its own database and driver domain, and the parallel driver steps the
+/// domains on up to `threads` worker threads. Results are bit-identical
+/// to running `run_oltp` per design (same seeds, same virtual clocks) —
+/// only wall-clock time changes.
+pub fn run_oltp_set(
+    kind: OltpKind,
+    designs: &[Design],
+    opts: &RunOptions,
+    threads: usize,
+) -> OltpSet {
+    let mut driver = Driver::new();
+    let mut handles = Vec::with_capacity(designs.len());
+    for (domain, &design) in designs.iter().enumerate() {
+        let metric = ThroughputRecorder::new(6 * MINUTE);
+        let db = attach(kind, design, opts, &mut driver, domain, &metric);
+        handles.push((design, metric, db));
+    }
+    let min_service = handles
+        .iter()
+        .map(|(_, _, db)| db.io().setup().min_service_ns())
+        .min()
+        .unwrap_or(MILLISECOND);
+    driver.set_lookahead(min_service.saturating_mul(WINDOW_QUANTA));
+    let timer = crate::json::WallTimer::start();
+    driver.run_until_parallel(opts.duration, threads);
+    let drive_secs = timer.secs();
+    let steps = driver.steps();
+    let runs = handles
+        .into_iter()
+        .map(|(design, metric, db)| collect(design, metric, opts, &db))
+        .collect();
+    OltpSet {
+        runs,
+        steps,
+        threads,
+        drive_secs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +246,28 @@ mod tests {
         assert!(run.metric.total() > 0);
         assert!(run.ssd.is_some());
         assert!(!run.series.is_empty());
+    }
+
+    #[test]
+    fn oltp_set_matches_individual_runs() {
+        let opts = RunOptions {
+            duration: 20 * MINUTE,
+            clients: 3,
+            ..RunOptions::tpcc(0)
+        };
+        let kind = OltpKind::TpcC { warehouses: 2 };
+        let designs = [Design::Dw, Design::Lc];
+        let set = run_oltp_set(kind, &designs, &opts, 2);
+        assert_eq!(set.runs.len(), 2);
+        for (i, &design) in designs.iter().enumerate() {
+            let solo = run_oltp(kind, design, &opts);
+            let par = &set.runs[i];
+            assert_eq!(par.design, design);
+            assert_eq!(par.metric.total(), solo.metric.total(), "{design:?}");
+            assert_eq!(par.ssd, solo.ssd, "{design:?}");
+            assert_eq!(par.pool, solo.pool, "{design:?}");
+            assert_eq!(par.disk, solo.disk, "{design:?}");
+            assert_eq!(par.ssd_dev, solo.ssd_dev, "{design:?}");
+        }
     }
 }

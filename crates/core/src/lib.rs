@@ -34,6 +34,7 @@ pub mod config;
 pub mod heaps;
 pub mod manager;
 pub mod metrics;
+pub mod pagebuf;
 pub mod partition;
 pub mod tac;
 
@@ -43,4 +44,5 @@ pub use coherence::{classify, CoherenceCase, CoherenceViolation};
 pub use config::{MultiPageMode, SsdConfig, SsdDesign};
 pub use manager::SsdManager;
 pub use metrics::SsdMetrics;
+pub use pagebuf::PageBufPool;
 pub use tac::TacCache;

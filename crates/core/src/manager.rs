@@ -20,6 +20,7 @@ use turbopool_iosim::{
 use crate::audit::{AuditOp, InvariantAuditor};
 use crate::config::{MultiPageMode, SsdConfig, SsdDesign};
 use crate::metrics::SsdMetrics;
+use crate::pagebuf::PageBufPool;
 use crate::partition::Partition;
 
 /// SSD buffer-pool manager implementing clean-write, dual-write and
@@ -49,6 +50,9 @@ pub struct SsdManager {
     pub metrics: SsdMetrics,
     /// Shadow state machine validating every buffer-table transition.
     auditor: InvariantAuditor,
+    /// Recycled page-sized staging buffers for the gather/flush path
+    /// (`clean_batch`) — avoids a fresh allocation per gathered page.
+    buf_pool: PageBufPool,
 }
 
 impl SsdManager {
@@ -73,6 +77,8 @@ impl SsdManager {
             base += frames;
         }
         let auditor = InvariantAuditor::new(cfg.design);
+        // Retain at most one batch's worth of staging buffers (α pages).
+        let buf_pool = PageBufPool::new(io.page_size(), cfg.alpha as usize);
         SsdManager {
             cfg,
             io,
@@ -86,6 +92,7 @@ impl SsdManager {
             stranded: Mutex::new(Vec::new()),
             metrics: SsdMetrics::default(),
             auditor,
+            buf_pool,
         }
     }
 
@@ -560,19 +567,23 @@ impl SsdManager {
                 };
                 part.frame_no(idx)
             };
-            let mut buf = vec![0u8; self.io.page_size()];
+            let mut buf = self.buf_pool.take();
             match self.ssd_read(clk, frame, &mut buf) {
                 Ok(()) => {
                     pids.push(pid);
                     bufs.push(buf);
                 }
                 Err(e) => {
+                    self.buf_pool.put(buf);
                     self.note_ssd_error(&e);
                     self.drop_corrupt(pid);
                 }
             }
         }
         let (cleaned, writes) = self.flush_gathered(clk, &pids, &bufs);
+        for buf in bufs {
+            self.buf_pool.put(buf);
+        }
         SsdMetrics::add(&self.metrics.cleaned_pages, cleaned as u64);
         SsdMetrics::add(&self.metrics.cleaner_writes, writes as u64);
         cleaned

@@ -188,8 +188,13 @@ impl<'d, 'c> Txn<'d, 'c> {
         log.append(&LogRecord::Commit { txid: self.id });
         log.flush(self.clk);
         // Publication: install the after-images into the buffer pool,
-        // dirtying the pages (which invalidates any SSD copies).
-        for (pid, image) in self.overlay {
+        // dirtying the pages (which invalidates any SSD copies). Ascending
+        // page order, not `HashMap` order: replacement stamps and fault-plan
+        // draws are consumed in publication order, so it must be identical
+        // on every run for replay to be bit-reproducible.
+        let mut pages: Vec<(PageId, PageBuf)> = self.overlay.into_iter().collect();
+        pages.sort_unstable_by_key(|(pid, _)| pid.0);
+        for (pid, image) in pages {
             if self.db.pool().contains(pid) || !self.db.is_fresh(pid) {
                 match self.db.get_with_salvage(self.clk, pid, Locality::Random) {
                     Ok(mut g) => {

@@ -1,0 +1,30 @@
+//! Seeded L7 violations: OS-thread creation outside the driver's worker
+//! pool. Scanned by the self-test, never compiled.
+
+fn bad_spawn() {
+    std::thread::spawn(|| {});
+}
+
+fn bad_scope() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+
+fn bad_builder() {
+    let _ = std::thread::Builder::new().spawn(|| {});
+}
+
+fn allowed_spawn() {
+    // A justified exception must be suppressible.
+    // lint: allow(thread-spawn) fixture demonstrates the marker
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt, like L2/L6.
+    fn test_spawn_is_fine() {
+        std::thread::spawn(|| {});
+    }
+}

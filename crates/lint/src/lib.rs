@@ -50,6 +50,7 @@ pub enum Rule {
     DesignMatch,
     Unsafe,
     IoError,
+    ThreadSpawn,
 }
 
 impl Rule {
@@ -61,6 +62,7 @@ impl Rule {
             Rule::DesignMatch => "design-match",
             Rule::Unsafe => "unsafe",
             Rule::IoError => "io-error",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 }
@@ -93,6 +95,16 @@ impl fmt::Display for Finding {
 const WALLCLOCK_ALLOWLIST: &[&str] = &[
     "crates/bench/benches/ablation.rs",
     "examples/oltp_shootout.rs",
+];
+
+/// The only non-test sites allowed to spawn OS threads (rule L7): the
+/// parallel driver's worker pool, and the ablation bench that measures
+/// real latch contention. Everywhere else, threads could observe or
+/// introduce scheduling nondeterminism that the virtual-time design
+/// forbids.
+const THREAD_ALLOWLIST: &[&str] = &[
+    "crates/workload/src/pool.rs",
+    "crates/bench/benches/ablation.rs",
 ];
 
 /// Linter configuration.
@@ -430,6 +442,7 @@ pub fn scan_file(cfg: &Config, rel: &Path, source: &str) -> Vec<Finding> {
     rule_lock_order(cfg, &p, rel, &mut out);
     rule_design_match(&p, rel, &mut out);
     rule_unsafe(&p, rel, &mut out);
+    rule_thread_spawn(&p, rel, &rel_str, &mut out);
     out
 }
 
@@ -449,6 +462,36 @@ fn rule_wallclock(p: &Prepared, rel: &Path, rel_str: &str, out: &mut Vec<Finding
                     message: format!(
                         "wall-clock API `{pat}` — simulation code must use the virtual clock \
                          (turbopool_iosim::Clk)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L7 ----
+
+/// Thread creation is confined to the driver's worker pool (and the
+/// allowlisted contention bench): parallelism anywhere else could leak
+/// scheduling nondeterminism into the virtual-time simulation. Test
+/// modules are exempt, like L2/L6.
+fn rule_thread_spawn(p: &Prepared, rel: &Path, rel_str: &str, out: &mut Vec<Finding>) {
+    if THREAD_ALLOWLIST.iter().any(|a| rel_str.ends_with(a)) {
+        return;
+    }
+    for (ln, code) in p.code.iter().enumerate() {
+        if p.in_test[ln] {
+            continue;
+        }
+        for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+            if code.contains(pat) && !allowed(p, ln, Rule::ThreadSpawn) {
+                out.push(Finding {
+                    rule: Rule::ThreadSpawn,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: format!(
+                        "`{pat}` outside the driver worker pool — OS threads are confined to \
+                         crates/workload/src/pool.rs so parallelism cannot leak nondeterminism"
                     ),
                 });
             }
@@ -950,6 +993,27 @@ mod tests {
         // Test modules are exempt.
         let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
         assert!(scan("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_confined_to_worker_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let f = scan("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ThreadSpawn);
+        // The driver worker pool and the contention bench are exempt.
+        assert!(scan("crates/workload/src/pool.rs", src).is_empty());
+        assert!(scan("crates/bench/benches/ablation.rs", src).is_empty());
+        // Test modules are exempt, like L2/L6.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(scan("crates/core/src/x.rs", test_src).is_empty());
+        // Scoped threads and builders count too.
+        let scope_src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert_eq!(scan("crates/iosim/src/x.rs", scope_src).len(), 1);
+        // The marker suppresses a justified exception.
+        let allowed_src =
+            "fn f() {\n // lint: allow(thread-spawn) justified\n std::thread::spawn(|| {});\n}\n";
+        assert!(scan("crates/iosim/src/x.rs", allowed_src).is_empty());
     }
 
     #[test]

@@ -98,6 +98,36 @@ fn unsafe_fixture_fires() {
 }
 
 #[test]
+fn thread_spawn_fixture_fires() {
+    let f = fixture("thread_spawn.rs");
+    let hits = f.iter().filter(|f| f.rule == Rule::ThreadSpawn).count();
+    // spawn, scope, Builder; the marker-suppressed call and the test
+    // module must stay silent.
+    assert_eq!(
+        hits, 3,
+        "expected exactly the three seeded findings: {f:#?}"
+    );
+}
+
+#[test]
+fn thread_spawn_allows_the_worker_pool() {
+    // The real worker pool uses thread::scope; scanning it through its
+    // repo-relative path must stay clean (allowlist direction).
+    let root = ws();
+    let rel = PathBuf::from("crates/workload/src/pool.rs");
+    let src = std::fs::read_to_string(root.join(&rel)).expect("pool.rs readable");
+    assert!(
+        src.contains("thread::scope"),
+        "pool.rs no longer spawns threads — update this test and the L7 allowlist"
+    );
+    let f = scan_file(&cfg(root), &rel, &src);
+    assert!(
+        !f.iter().any(|f| f.rule == Rule::ThreadSpawn),
+        "worker pool must be allowlisted for L7: {f:#?}"
+    );
+}
+
+#[test]
 fn fixtures_dir_is_skipped_when_scanning_repo() {
     // `repository_tree_scans_clean` passing already implies this (the
     // fixtures seed violations), but assert it directly for clarity.

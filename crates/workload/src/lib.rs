@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod driver;
+pub(crate) mod pool;
 pub mod rand_util;
 pub mod scenario;
 pub mod synthetic;
