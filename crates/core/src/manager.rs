@@ -43,6 +43,11 @@ pub struct SsdManager {
     quarantined: AtomicBool,
     /// SSD I/O errors observed, charged against `cfg.ssd_error_budget`.
     ssd_errors: AtomicU64,
+    /// Degraded-mode decision counter driving canary probes: every
+    /// `cfg.hedge_probe_interval`-th hedge-eligible decision still goes
+    /// to the SSD so the fail-slow detector keeps receiving samples and
+    /// can observe recovery.
+    probe_tick: AtomicU64,
     /// Dirty pages whose sole (SSD) copy was lost to corruption or
     /// quarantine, awaiting WAL-tail salvage by the engine.
     stranded: Mutex<Vec<PageId>>,
@@ -89,6 +94,7 @@ impl SsdManager {
             pause_dirty_until: AtomicU64::new(0),
             quarantined: AtomicBool::new(false),
             ssd_errors: AtomicU64::new(0),
+            probe_tick: AtomicU64::new(0),
             stranded: Mutex::new(Vec::new()),
             metrics: SsdMetrics::default(),
             auditor,
@@ -189,7 +195,9 @@ impl SsdManager {
     /// error (checksum mismatch, device death, or retries exhausted) is
     /// returned for the caller to classify.
     fn ssd_read(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
-        let (_retries, out) = fault::retry_sync(clk, |c| self.io.read_ssd(c, frame, buf));
+        let (retries, out) =
+            fault::retry_sync_with(&self.cfg.retry, clk, |c| self.io.read_ssd(c, frame, buf));
+        SsdMetrics::add(&self.metrics.ssd_retries, u64::from(retries));
         out
     }
 
@@ -202,7 +210,9 @@ impl SsdManager {
         class: Locality,
         buf: &mut [u8],
     ) -> Result<(), IoError> {
-        let (retries, out) = fault::retry_sync(clk, |c| self.io.read_disk(c, pid, buf, class));
+        let (retries, out) = fault::retry_sync_with(&self.cfg.retry, clk, |c| {
+            self.io.read_disk(c, pid, buf, class)
+        });
         SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
         out
     }
@@ -215,7 +225,9 @@ impl SsdManager {
         n: u64,
         loc: Locality,
     ) -> Result<Vec<PageBuf>, IoError> {
-        let (retries, out) = fault::retry_sync(clk, |c| self.io.read_disk_run(c, first, n, loc));
+        let (retries, out) = fault::retry_sync_with(&self.cfg.retry, clk, |c| {
+            self.io.read_disk_run(c, first, n, loc)
+        });
         SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
         out
     }
@@ -305,6 +317,45 @@ impl SsdManager {
     /// Is the SSD queue deeper than the throttle threshold μ?
     fn throttled(&self, now: Time) -> bool {
         self.io.ssd_overloaded(now, self.cfg.mu)
+    }
+
+    /// Gray-failure hedging: is the SSD flagged fail-slow (and hedging
+    /// enabled)? While true, reads with a valid disk copy and all new
+    /// admissions are diverted to disk; only sole-copy dirty frames still
+    /// touch the SSD.
+    fn ssd_degraded(&self) -> bool {
+        self.cfg.hedged_reads && self.io.ssd_slow()
+    }
+
+    /// Should this hedge-eligible decision divert away from the SSD?
+    /// Healthy SSD: never. Degraded SSD: yes, except that every
+    /// `cfg.hedge_probe_interval`-th decision is let through as a canary
+    /// probe — without probes a fully-hedged SSD would get no more
+    /// samples and the detector could never observe recovery. Once a
+    /// probe comes back fast the detector reports `clearing` and every
+    /// decision probes, so the clear streak completes (or is refuted) in
+    /// `clear_after` requests instead of `clear_after × interval`. The
+    /// tick advances in deterministic submission order, so replay is
+    /// exact.
+    fn hedge_or_probe(&self) -> bool {
+        if !self.ssd_degraded() {
+            return false;
+        }
+        if self.io.ssd_clearing() {
+            return false;
+        }
+        let n = self.cfg.hedge_probe_interval;
+        if n == 0 {
+            return true;
+        }
+        let t = self.probe_tick.fetch_add(1, Ordering::Relaxed);
+        t % n != n - 1
+    }
+
+    /// Outstanding requests on the disk group (congestion signal for the
+    /// lazy cleaner).
+    pub fn disk_queue_depth(&self, now: Time) -> usize {
+        self.io.disk_queue_depth(now)
     }
 
     /// Aggressive filling (§3.3.1): until the SSD is τ-full, everything is
@@ -703,16 +754,25 @@ impl PageIo for SsdManager {
             match part.lookup(pid) {
                 Some(idx) => {
                     let dirty = part.record(idx).dirty;
-                    // Throttle control (§3.3.2): skip the SSD when
-                    // overloaded — unless its copy is newer than disk,
-                    // which must be read from the SSD for correctness.
-                    if dirty || !self.throttled(clk.now) {
+                    // Throttle control (§3.3.2) and gray-failure hedging:
+                    // skip the SSD when its queue exceeds μ or the
+                    // fail-slow detector flags it — unless its copy is
+                    // newer than disk, which must be read from the SSD
+                    // for correctness no matter how slow it is.
+                    if dirty {
                         let stamp = self.next_stamp();
                         part.touch(idx, stamp);
-                        Some((part.frame_no(idx), dirty))
-                    } else {
+                        Some((part.frame_no(idx), true))
+                    } else if self.throttled(clk.now) {
                         SsdMetrics::bump(&self.metrics.throttled_reads);
                         None
+                    } else if self.hedge_or_probe() {
+                        SsdMetrics::bump(&self.metrics.hedged_reads);
+                        None
+                    } else {
+                        let stamp = self.next_stamp();
+                        part.touch(idx, stamp);
+                        Some((part.frame_no(idx), false))
                     }
                 }
                 None => None,
@@ -769,12 +829,24 @@ impl PageIo for SsdManager {
         let now0 = clk.now;
         let mut done = now0;
 
+        // Gray-failure hedging: while the SSD is flagged fail-slow its
+        // clean-resident pages read from disk like misses (dirty pages
+        // must still patch from the SSD — theirs is the only copy).
+        let hedging = self.hedge_or_probe();
+        if hedging && self.cfg.multipage != MultiPageMode::DiskOnly {
+            let diverted = status
+                .iter()
+                .filter(|s| matches!(s, Some((_, false))))
+                .count() as u64;
+            SsdMetrics::add(&self.metrics.hedged_reads, diverted);
+        }
+
         match self.cfg.multipage {
             MultiPageMode::Trim => {
                 // Trimming (§3.3.3): peel SSD-resident pages off both ends,
                 // read the middle as one disk I/O; dirty SSD pages inside
                 // the middle are patched from the SSD afterwards.
-                let throttled = self.throttled(now0);
+                let throttled = self.throttled(now0) || hedging;
                 let from_ssd = |s: &Option<(u64, bool)>| match s {
                     Some((_, true)) => true,
                     Some((_, false)) => !throttled,
@@ -826,7 +898,7 @@ impl PageIo for SsdManager {
                 // The paper's discarded first cut: split the request at
                 // every SSD-resident page; each disk fragment pays its own
                 // positioning cost.
-                let throttled = self.throttled(now0);
+                let throttled = self.throttled(now0) || hedging;
                 let mut i = 0usize;
                 while i < n as usize {
                     match status[i] {
@@ -914,10 +986,20 @@ impl PageIo for SsdManager {
             }
             return;
         }
-        let throttled = self.throttled(now);
-        if throttled {
+        let queue_full = self.throttled(now);
+        if queue_full {
             SsdMetrics::bump(&self.metrics.throttled_admissions);
         }
+        // Gray-failure hedging: a browned-out SSD receives no optional
+        // traffic — admissions divert to disk exactly like throttling.
+        // For LC this is also the sole-copy guard: a dirty eviction that
+        // would have become an SSD-only copy goes to disk instead, so no
+        // *new* sole copies land on a degraded device.
+        let hedging = !queue_full && self.hedge_or_probe();
+        if hedging {
+            SsdMetrics::bump(&self.metrics.hedged_admissions);
+        }
+        let throttled = queue_full || hedging;
 
         match self.cfg.design {
             SsdDesign::CleanWrite => {
@@ -985,12 +1067,18 @@ impl PageIo for SsdManager {
             && !self.is_quarantined()
             && !self.throttled(now)
         {
-            let cached = {
-                let part = self.part(pid);
-                part.lookup(pid).is_some()
-            };
-            if !cached {
-                self.install(now, pid, data, false);
+            if self.hedge_or_probe() {
+                // No optional traffic to a browned-out SSD; the disk
+                // write above already persisted the page.
+                SsdMetrics::bump(&self.metrics.hedged_admissions);
+            } else {
+                let cached = {
+                    let part = self.part(pid);
+                    part.lookup(pid).is_some()
+                };
+                if !cached {
+                    self.install(now, pid, data, false);
+                }
             }
         }
         done

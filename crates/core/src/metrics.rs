@@ -63,6 +63,22 @@ pub struct SsdMetrics {
     pub stranded_dirty: AtomicU64,
     /// Pages restored onto disk by WAL-tail salvage after stranding.
     pub salvaged_pages: AtomicU64,
+    /// SSD hits redirected to disk because the fail-slow detector flagged
+    /// the SSD degraded (gray-failure hedging; dirty sole-copy frames are
+    /// exempt and still read from the SSD).
+    pub hedged_reads: AtomicU64,
+    /// SSD admissions skipped because the fail-slow detector flagged the
+    /// SSD degraded — no optional traffic is sent to a browned-out device.
+    pub hedged_admissions: AtomicU64,
+    /// SSD I/O retry attempts consumed by the capped-backoff policy.
+    pub ssd_retries: AtomicU64,
+    /// Lazy-cleaner rounds skipped because the disk group was congested
+    /// (queue depth above `cleaner_disk_queue_max`) and the dirty count
+    /// was still below the hard ceiling.
+    pub cleaner_backoffs: AtomicU64,
+    /// Lazy-cleaner rounds run opportunistically below the high-water
+    /// mark because the disk group was idle.
+    pub cleaner_boosts: AtomicU64,
 }
 
 /// Plain-value snapshot of [`SsdMetrics`].
@@ -93,6 +109,11 @@ pub struct SsdMetricsSnapshot {
     pub lost_frames: u64,
     pub stranded_dirty: u64,
     pub salvaged_pages: u64,
+    pub hedged_reads: u64,
+    pub hedged_admissions: u64,
+    pub ssd_retries: u64,
+    pub cleaner_backoffs: u64,
+    pub cleaner_boosts: u64,
 }
 
 impl SsdMetrics {
@@ -123,6 +144,11 @@ impl SsdMetrics {
             lost_frames: self.lost_frames.load(Ordering::Relaxed),
             stranded_dirty: self.stranded_dirty.load(Ordering::Relaxed),
             salvaged_pages: self.salvaged_pages.load(Ordering::Relaxed),
+            hedged_reads: self.hedged_reads.load(Ordering::Relaxed),
+            hedged_admissions: self.hedged_admissions.load(Ordering::Relaxed),
+            ssd_retries: self.ssd_retries.load(Ordering::Relaxed),
+            cleaner_backoffs: self.cleaner_backoffs.load(Ordering::Relaxed),
+            cleaner_boosts: self.cleaner_boosts.load(Ordering::Relaxed),
         }
     }
 

@@ -74,6 +74,9 @@ pub struct TacCache {
     quarantined: AtomicBool,
     /// SSD I/O errors observed, charged against `cfg.ssd_error_budget`.
     ssd_errors: AtomicU64,
+    /// Degraded-mode decision counter driving canary probes (see
+    /// [`TacCache::hedge_or_probe`]).
+    probe_tick: AtomicU64,
     pub metrics: SsdMetrics,
     /// Shadow state machine validating every buffer-table transition.
     auditor: InvariantAuditor,
@@ -95,6 +98,7 @@ impl TacCache {
             }),
             quarantined: AtomicBool::new(false),
             ssd_errors: AtomicU64::new(0),
+            probe_tick: AtomicU64::new(0),
             metrics: SsdMetrics::default(),
             auditor: InvariantAuditor::new(crate::SsdDesign::Tac),
         }
@@ -157,7 +161,9 @@ impl TacCache {
 
     /// SSD frame read with transient-error retries on `clk`.
     fn ssd_read(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
-        let (_retries, out) = fault::retry_sync(clk, |c| self.io.read_ssd(c, frame, buf));
+        let (retries, out) =
+            fault::retry_sync_with(&self.cfg.retry, clk, |c| self.io.read_ssd(c, frame, buf));
+        SsdMetrics::add(&self.metrics.ssd_retries, u64::from(retries));
         out
     }
 
@@ -169,7 +175,9 @@ impl TacCache {
         class: Locality,
         buf: &mut [u8],
     ) -> Result<(), IoError> {
-        let (retries, out) = fault::retry_sync(clk, |c| self.io.read_disk(c, pid, buf, class));
+        let (retries, out) = fault::retry_sync_with(&self.cfg.retry, clk, |c| {
+            self.io.read_disk(c, pid, buf, class)
+        });
         SsdMetrics::add(&self.metrics.disk_retries, u64::from(retries));
         out
     }
@@ -256,6 +264,35 @@ impl TacCache {
         self.io.ssd_overloaded(now, self.cfg.mu)
     }
 
+    /// Gray-failure hedging: TAC is write-through, so every SSD copy has
+    /// a current disk twin and *all* SSD traffic (reads, admissions, and
+    /// refreshes) can divert to disk while the device is flagged
+    /// fail-slow — there is no sole-copy exception to honor.
+    fn ssd_degraded(&self) -> bool {
+        self.cfg.hedged_reads && self.io.ssd_slow()
+    }
+
+    /// Should this hedge-eligible decision divert away from the SSD?
+    /// Every `cfg.hedge_probe_interval`-th degraded decision is let
+    /// through as a canary probe so the fail-slow detector keeps
+    /// receiving samples and can observe recovery; while the detector
+    /// reports `clearing`, every decision probes to confirm (mirrors
+    /// `SsdManager::hedge_or_probe`).
+    fn hedge_or_probe(&self) -> bool {
+        if !self.ssd_degraded() {
+            return false;
+        }
+        if self.io.ssd_clearing() {
+            return false;
+        }
+        let n = self.cfg.hedge_probe_interval;
+        if n == 0 {
+            return true;
+        }
+        let t = self.probe_tick.fetch_add(1, Ordering::Relaxed);
+        t % n != n - 1
+    }
+
     /// Record a memory-pool miss of `pid`: heat its extent.
     fn heat(&self, inner: &mut TacInner, pid: PageId, class: Locality) {
         let e = self.extent(pid);
@@ -291,6 +328,10 @@ impl TacCache {
         }
         if self.throttled(now) {
             SsdMetrics::bump(&self.metrics.throttled_admissions);
+            return;
+        }
+        if self.hedge_or_probe() {
+            SsdMetrics::bump(&self.metrics.hedged_admissions);
             return;
         }
         let mut inner = self.inner.lock();
@@ -381,13 +422,19 @@ impl PageIo for TacCache {
                     // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
                     let rec = inner.records[frame].unwrap();
                     // The copy must be valid AND its installing write
-                    // complete.
-                    if rec.valid && clk.now >= rec.valid_at && !self.throttled(clk.now) {
-                        Some(frame as u64)
-                    } else {
-                        if rec.valid && clk.now >= rec.valid_at {
+                    // complete; a usable hit still diverts to disk under
+                    // throttle (§3.3.2) or a fail-slow flag (hedging).
+                    if rec.valid && clk.now >= rec.valid_at {
+                        if self.throttled(clk.now) {
                             SsdMetrics::bump(&self.metrics.throttled_reads);
+                            None
+                        } else if self.hedge_or_probe() {
+                            SsdMetrics::bump(&self.metrics.hedged_reads);
+                            None
+                        } else {
+                            Some(frame as u64)
                         }
+                    } else {
                         None
                     }
                 }
@@ -428,7 +475,8 @@ impl PageIo for TacCache {
         let mut out: Vec<PageBuf> = (0..n).map(|_| PageBuf::zeroed(ps)).collect();
         let now0 = clk.now;
         let mut done = now0;
-        let throttled = self.throttled(now0);
+        let hedging = self.hedge_or_probe();
+        let throttled = self.throttled(now0) || hedging;
         let status: Vec<Option<u64>> = {
             let inner = self.inner.lock();
             (0..n)
@@ -437,7 +485,11 @@ impl PageIo for TacCache {
                     inner.map.get(&pid).and_then(|&f| {
                         // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
                         let rec = inner.records[f].unwrap();
-                        (rec.valid && now0 >= rec.valid_at && !throttled).then_some(f as u64)
+                        let usable = rec.valid && now0 >= rec.valid_at;
+                        if usable && hedging {
+                            SsdMetrics::bump(&self.metrics.hedged_reads);
+                        }
+                        (usable && !throttled).then_some(f as u64)
                     })
                 })
                 .collect()
@@ -453,7 +505,7 @@ impl PageIo for TacCache {
         let mid = lead..(n as usize - trail);
         if !mid.is_empty() {
             let mut tmp = Clk::at(now0);
-            let (retries, res) = fault::retry_sync(&mut tmp, |c| {
+            let (retries, res) = fault::retry_sync_with(&self.cfg.retry, &mut tmp, |c| {
                 self.io.read_disk_run(
                     c,
                     first.offset(mid.start as u64),
@@ -491,7 +543,7 @@ impl PageIo for TacCache {
                     self.note_ssd_error(&e);
                     self.drop_corrupt(pid);
                     let mut tmp = Clk::at(now0);
-                    let (retries, res) = fault::retry_sync(&mut tmp, |c| {
+                    let (retries, res) = fault::retry_sync_with(&self.cfg.retry, &mut tmp, |c| {
                         self.io
                             .read_disk(c, pid, out[i].as_mut_slice(), Locality::Sequential)
                     });
@@ -528,7 +580,12 @@ impl PageIo for TacCache {
             if let Some(&frame) = inner.map.get(&pid) {
                 // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
                 let rec = inner.records[frame].unwrap();
-                if !self.throttled(now) {
+                let hedging = !self.throttled(now) && self.hedge_or_probe();
+                if hedging {
+                    // No refresh traffic to a browned-out SSD.
+                    SsdMetrics::bump(&self.metrics.hedged_admissions);
+                }
+                if !self.throttled(now) && !hedging {
                     match self.io.write_ssd_async(now, frame as u64, data, pid) {
                         Ok(done) => {
                             inner.records[frame] = Some(TacRec {
@@ -558,8 +615,8 @@ impl PageIo for TacCache {
                         }
                     }
                 } else if rec.valid {
-                    // Cannot rewrite under throttle: invalidate so the stale
-                    // version can never be read.
+                    // Cannot rewrite under throttle or brownout: invalidate
+                    // so the stale version can never be read.
                     inner.records[frame] = Some(TacRec {
                         valid: false,
                         ..rec
@@ -620,7 +677,12 @@ impl PageIo for TacCache {
             if let Some(&frame) = inner.map.get(&pid) {
                 // lint: allow(panic) — map/records consistency: a mapped frame always holds a record.
                 let rec = inner.records[frame].unwrap();
-                if !self.throttled(now) {
+                let hedging = !self.throttled(now) && self.hedge_or_probe();
+                if hedging {
+                    // No refresh traffic to a browned-out SSD.
+                    SsdMetrics::bump(&self.metrics.hedged_admissions);
+                }
+                if !self.throttled(now) && !hedging {
                     match self.io.write_ssd_async(now, frame as u64, data, pid) {
                         Ok(wdone) => {
                             inner.records[frame] = Some(TacRec {
@@ -645,6 +707,8 @@ impl PageIo for TacCache {
                         }
                     }
                 } else if rec.valid {
+                    // Cannot rewrite under throttle or brownout: invalidate
+                    // so the stale version can never be read.
                     inner.records[frame] = Some(TacRec {
                         valid: false,
                         ..rec

@@ -2,7 +2,7 @@
 
 use turbopool_bufpool::ClassifierKind;
 use turbopool_core::SsdConfig;
-use turbopool_iosim::DeviceSetup;
+use turbopool_iosim::{DeviceSetup, FailSlowConfig, RetryPolicy};
 
 /// Everything needed to open a [`crate::Database`].
 #[derive(Clone, Debug)]
@@ -23,6 +23,12 @@ pub struct DbConfig {
     pub readahead_window: u64,
     /// Override the device calibration (defaults to the paper's Table 1).
     pub devices: Option<DeviceSetup>,
+    /// Retry/backoff policy for the noSSD baseline's synchronous reads
+    /// (SSD designs carry their own copy inside [`SsdConfig`]).
+    pub retry: RetryPolicy,
+    /// Fail-slow detector tuning applied to both the disk group and the
+    /// SSD when the database opens (gray-failure extension).
+    pub failslow: FailSlowConfig,
 }
 
 impl DbConfig {
@@ -38,6 +44,8 @@ impl DbConfig {
             classifier: ClassifierKind::ReadAhead,
             readahead_window: 32,
             devices: None,
+            retry: RetryPolicy::default(),
+            failslow: FailSlowConfig::default(),
         }
     }
 

@@ -57,8 +57,15 @@ impl Database {
             Option<Arc<SsdManager>>,
             Option<Arc<TacCache>>,
         );
+        // Gray-failure extension: calibrate both fail-slow detectors to
+        // the configured thresholds before any I/O is issued.
+        io.configure_failslow(cfg.failslow);
         let (layer, ssd, tac): Layers = match &cfg.ssd {
-            None => (Arc::new(DirectIo::new(Arc::clone(&io))), None, None),
+            None => (
+                Arc::new(DirectIo::with_retry(Arc::clone(&io), cfg.retry)),
+                None,
+                None,
+            ),
             Some(scfg) if scfg.design == SsdDesign::Tac => {
                 let t = Arc::new(TacCache::new(scfg.clone(), Arc::clone(&io)));
                 (Arc::clone(&t) as Arc<dyn PageIo>, None, Some(t))

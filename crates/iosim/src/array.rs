@@ -64,8 +64,21 @@ impl StripedArray {
         page: PageId,
         hint: Option<Locality>,
     ) -> IoTicket {
+        self.submit_page_scaled(now, kind, page, hint, 1)
+    }
+
+    /// [`Self::submit_page`] with a brownout service-time multiplier
+    /// applied to the member disk that serves the page.
+    pub fn submit_page_scaled(
+        &self,
+        now: Time,
+        kind: IoKind,
+        page: PageId,
+        hint: Option<Locality>,
+        scale: u32,
+    ) -> IoTicket {
         let (d, lba) = self.locate(page);
-        self.disks[d].submit(now, kind, lba, 1, hint)
+        self.disks[d].submit_scaled(now, kind, lba, 1, hint, scale)
     }
 
     /// Submit a multi-page request for the consecutive run
@@ -86,6 +99,20 @@ impl StripedArray {
         npages: u64,
         hint: Option<Locality>,
     ) -> IoTicket {
+        self.submit_run_scaled(now, kind, first, npages, hint, 1)
+    }
+
+    /// [`Self::submit_run`] with a brownout service-time multiplier
+    /// applied to every member span of the run.
+    pub fn submit_run_scaled(
+        &self,
+        now: Time,
+        kind: IoKind,
+        first: PageId,
+        npages: u64,
+        hint: Option<Locality>,
+        scale: u32,
+    ) -> IoTicket {
         assert!(npages > 0);
         let sp = self.stripe_pages;
         let mut ticket: Option<IoTicket> = None;
@@ -94,7 +121,7 @@ impl StripedArray {
             let pid = PageId(first.0 + i);
             let (disk, lba) = self.locate(pid);
             let span = (sp - pid.0 % sp).min(npages - i);
-            let t = self.disks[disk].submit(now, kind, lba, span, hint);
+            let t = self.disks[disk].submit_scaled(now, kind, lba, span, hint, scale);
             ticket = Some(match ticket {
                 None => t,
                 Some(prev) => IoTicket {

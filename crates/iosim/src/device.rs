@@ -286,6 +286,22 @@ impl SimDevice {
         npages: u64,
         hint: Option<Locality>,
     ) -> IoTicket {
+        self.submit_scaled(now, kind, lba, npages, hint, 1)
+    }
+
+    /// [`Self::submit`] with the service time multiplied by `scale` — the
+    /// brownout (fail-slow) injection point. The scaled service books
+    /// real ledger capacity, so a browned-out device also queues later
+    /// requests behind the stall, exactly like a device in a GC pause.
+    pub fn submit_scaled(
+        &self,
+        now: Time,
+        kind: IoKind,
+        lba: u64,
+        npages: u64,
+        hint: Option<Locality>,
+        scale: u32,
+    ) -> IoTicket {
         assert!(npages > 0, "empty I/O request");
         let mut st = self.state.lock();
         let adjacent = st.primed && lba == st.expected_lba;
@@ -294,8 +310,9 @@ impl SimDevice {
         } else {
             Locality::Random
         });
-        let service = self.profile.service_ns(kind, first_loc)
-            + (npages - 1) * self.profile.service_ns(kind, Locality::Sequential);
+        let service = (self.profile.service_ns(kind, first_loc)
+            + (npages - 1) * self.profile.service_ns(kind, Locality::Sequential))
+            * Time::from(scale.max(1));
         st.expected_lba = lba + npages;
         st.primed = true;
         self.finish(&mut st, now, kind, service, npages)
@@ -400,6 +417,24 @@ mod tests {
             "t",
             DeviceProfile::from_iops(1_000.0, 10_000.0, 1_000.0, 10_000.0),
         )
+    }
+
+    #[test]
+    fn scaled_submit_books_scaled_capacity() {
+        let d = dev();
+        let t1 = d.submit(0, IoKind::Read, 0, 1, Some(Locality::Random));
+        assert_eq!(t1.complete - t1.start, 1_000_000);
+        let d = dev();
+        let t10 = d.submit_scaled(0, IoKind::Read, 0, 1, Some(Locality::Random), 10);
+        assert_eq!(t10.complete - t10.start, 10_000_000);
+        // The stall consumes real capacity: the next request queues
+        // behind it rather than overlapping.
+        let next = d.submit(0, IoKind::Read, 99, 1, Some(Locality::Random));
+        assert!(next.complete >= t10.complete + 1_000_000);
+        // Scale 1 (and the saturating 0 case) are the identity.
+        let d = dev();
+        let a = d.submit_scaled(0, IoKind::Read, 0, 1, Some(Locality::Random), 0);
+        assert_eq!(a.complete - a.start, 1_000_000);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! frames, bit flips) is applied to the SSD tier only, where per-frame
 //! checksums catch it on the next read; the disk tier — the durability
 //! story of the system — reports its failures instead of hiding them.
+//!
+//! Gray failures are modeled by [`BrownoutSpec`]: windows of virtual
+//! time in which the device still answers every request, just 5–50×
+//! slower. Window membership is a pure function of `now` and the seed —
+//! no per-request randomness — so brownouts replay bit-identically
+//! under the parallel driver without consuming the plan's RNG stream.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
@@ -93,6 +99,60 @@ impl std::fmt::Display for IoError {
 
 impl std::error::Error for IoError {}
 
+/// A sustained-slowdown (fail-slow) schedule for one device: inside its
+/// windows every request completes, but the device's service time is
+/// multiplied by `factor`. This models an SSD in a garbage-collection
+/// stall or a disk group behind a saturated controller — the gray
+/// failures that never raise an [`IoError`].
+///
+/// Membership is a pure function of virtual time, so two runs that
+/// submit the same requests see the same slowdowns regardless of driver
+/// threading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutSpec {
+    /// First instant of the brownout range (inclusive).
+    pub start: Time,
+    /// End of the brownout range (exclusive).
+    pub end: Time,
+    /// Start-to-start spacing of repeated stalls inside `[start, end)`;
+    /// `0` means one continuous stall covering the whole range.
+    pub period: Time,
+    /// Length of each stall when `period > 0` (ignored otherwise).
+    pub duration: Time,
+    /// Service-time multiplier while stalled; `1` disables the spec.
+    pub factor: u32,
+}
+
+impl BrownoutSpec {
+    /// The service-time multiplier in effect at `now` (`1` outside every
+    /// stall window).
+    pub fn factor_at(&self, now: Time) -> u32 {
+        if now < self.start || now >= self.end || self.factor <= 1 {
+            return 1;
+        }
+        if self.period == 0 || (now - self.start) % self.period < self.duration {
+            self.factor
+        } else {
+            1
+        }
+    }
+}
+
+/// Least brownout multiplier drawn for a seeded plan, per the issue's
+/// "multiplied 5–50×" slowdown range.
+pub const BROWNOUT_FACTOR_MIN: u32 = 5;
+/// Greatest brownout multiplier drawn for a seeded plan.
+pub const BROWNOUT_FACTOR_MAX: u32 = 50;
+
+/// SplitMix64 finalizer: a cheap seed→factor hash that does not touch
+/// the plan's request-ordered RNG stream.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Tunable fault probabilities for one device. All probabilities are per
 /// request; a default-constructed config injects nothing.
 #[derive(Debug, Clone)]
@@ -117,6 +177,9 @@ pub struct FaultConfig {
     /// Virtual-time instant at which the whole device dies. Every request
     /// at or after this instant fails with [`IoErrorKind::DeviceDead`].
     pub death_at: Option<Time>,
+    /// Sustained-slowdown windows (fail-slow gray failure); `None`
+    /// injects no brownouts.
+    pub brownout: Option<BrownoutSpec>,
 }
 
 impl FaultConfig {
@@ -131,6 +194,7 @@ impl FaultConfig {
             torn_write_prob: 0.0,
             bitflip_prob: 0.0,
             death_at: None,
+            brownout: None,
         }
     }
 
@@ -148,6 +212,38 @@ impl FaultConfig {
         c.death_at = Some(t);
         c
     }
+
+    /// One continuous brownout over `[start, end)` with the service-time
+    /// multiplier drawn from `[BROWNOUT_FACTOR_MIN, BROWNOUT_FACTOR_MAX]`
+    /// by hashing `seed` (no RNG stream consumed).
+    pub fn brownout(seed: u64, start: Time, end: Time) -> Self {
+        let span = u64::from(BROWNOUT_FACTOR_MAX - BROWNOUT_FACTOR_MIN) + 1;
+        // lint: allow(panic) — span is a nonzero constant.
+        let factor = BROWNOUT_FACTOR_MIN + u32::try_from(mix64(seed) % span).unwrap();
+        Self::brownout_train(seed, start, end, 0, 0, factor)
+    }
+
+    /// A stall train: every `period` ns inside `[start, end)` the device
+    /// runs `factor`× slow for `duration` ns (GC-stall shape). With
+    /// `period == 0` the whole range stalls continuously.
+    pub fn brownout_train(
+        seed: u64,
+        start: Time,
+        end: Time,
+        period: Time,
+        duration: Time,
+        factor: u32,
+    ) -> Self {
+        let mut c = Self::quiet(seed);
+        c.brownout = Some(BrownoutSpec {
+            start,
+            end,
+            period,
+            duration,
+            factor,
+        });
+        c
+    }
 }
 
 /// Counters of faults actually injected, readable at any time. These are
@@ -161,6 +257,7 @@ struct FaultCounters {
     torn_writes: AtomicU64,
     bitflips: AtomicU64,
     dead_rejects: AtomicU64,
+    brownout_slowdowns: AtomicU64,
 }
 
 /// Plain snapshot of [`FaultPlan`] counters.
@@ -172,6 +269,8 @@ pub struct FaultStats {
     pub torn_writes: u64,
     pub bitflips: u64,
     pub dead_rejects: u64,
+    /// Requests whose service time was multiplied by an active brownout.
+    pub brownout_slowdowns: u64,
 }
 
 /// Sentinel for "no dynamic death scheduled".
@@ -246,6 +345,28 @@ impl FaultPlan {
         Ok(self.spike())
     }
 
+    /// Is a brownout stall active at `now`? Pure query: no counter, no
+    /// RNG.
+    pub fn in_brownout(&self, now: Time) -> bool {
+        self.cfg
+            .brownout
+            .is_some_and(|b| b.factor_at(now) > 1 && !self.is_dead(now))
+    }
+
+    /// The service-time multiplier to apply to a request submitted at
+    /// `now` (`1` outside brownout windows). Counts one slowdown per
+    /// call, so call it exactly once per admitted request.
+    pub fn service_factor(&self, now: Time) -> u32 {
+        let f = match self.cfg.brownout {
+            Some(b) if !self.is_dead(now) => b.factor_at(now),
+            _ => 1,
+        };
+        if f > 1 {
+            self.counters.brownout_slowdowns.fetch_add(1, Relaxed);
+        }
+        f
+    }
+
     fn spike(&self) -> Time {
         if self.draw(self.cfg.latency_spike_prob) {
             self.counters.latency_spikes.fetch_add(1, Relaxed);
@@ -290,6 +411,7 @@ impl FaultPlan {
             torn_writes: self.counters.torn_writes.load(Relaxed),
             bitflips: self.counters.bitflips.load(Relaxed),
             dead_rejects: self.counters.dead_rejects.load(Relaxed),
+            brownout_slowdowns: self.counters.brownout_slowdowns.load(Relaxed),
         }
     }
 }
@@ -323,20 +445,62 @@ pub fn checksum(data: &[u8]) -> u64 {
 // ----------------------------------------------------------------------
 
 /// Attempts made on a transient disk error before giving up (the first
-/// attempt plus `DISK_RETRY_LIMIT` retries).
+/// attempt plus `DISK_RETRY_LIMIT` retries) — the [`RetryPolicy`]
+/// default.
 pub const DISK_RETRY_LIMIT: u32 = 5;
 
-/// Capped exponential backoff before retry `attempt` (0-based):
-/// 1 ms, 4 ms, 16 ms, 64 ms, then 64 ms flat — virtual time only.
-pub fn backoff_ns(attempt: u32) -> Time {
-    MILLISECOND << (2 * attempt.min(3))
+/// Default backoff before the first retry (see [`RetryPolicy`]).
+pub const RETRY_BASE_BACKOFF_NS: Time = MILLISECOND;
+
+/// Default cap on the backoff growth exponent (see [`RetryPolicy`]).
+pub const RETRY_BACKOFF_CAP_EXP: u32 = 3;
+
+/// The bounded-retry knobs for transient I/O errors, promoted from the
+/// fault layer's original hardcoded caps so deployments can tune them
+/// per tier (`SsdConfig::retry`, `DbConfig::retry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt; transient errors beyond
+    /// this propagate to the caller. Default 5.
+    pub limit: u32,
+    /// Backoff before the first retry; each further retry quadruples it.
+    /// Default 1 ms of virtual time.
+    pub base_backoff_ns: Time,
+    /// Retry index at which the backoff stops growing. The default (3)
+    /// with the default base gives 1 ms, 4 ms, 16 ms, 64 ms, then 64 ms
+    /// flat.
+    pub backoff_cap_exp: u32,
 }
 
-/// Run `op` with the standard synchronous retry policy: transient errors
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            limit: DISK_RETRY_LIMIT,
+            base_backoff_ns: RETRY_BASE_BACKOFF_NS,
+            backoff_cap_exp: RETRY_BACKOFF_CAP_EXP,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Capped exponential backoff before retry `attempt` (0-based).
+    pub fn backoff_ns(&self, attempt: u32) -> Time {
+        self.base_backoff_ns << (2 * attempt.min(self.backoff_cap_exp))
+    }
+}
+
+/// Capped exponential backoff of the default policy:
+/// 1 ms, 4 ms, 16 ms, 64 ms, then 64 ms flat — virtual time only.
+pub fn backoff_ns(attempt: u32) -> Time {
+    RetryPolicy::default().backoff_ns(attempt)
+}
+
+/// Run `op` with the synchronous retry policy `policy`: transient errors
 /// wait out a capped virtual-time backoff on `clk` and retry; permanent
 /// errors and retry exhaustion propagate. Returns the attempt count made
 /// alongside the result so callers can account retries.
-pub fn retry_sync<T>(
+pub fn retry_sync_with<T>(
+    policy: &RetryPolicy,
     clk: &mut Clk,
     mut op: impl FnMut(&mut Clk) -> Result<T, IoError>,
 ) -> (u32, Result<T, IoError>) {
@@ -344,8 +508,8 @@ pub fn retry_sync<T>(
     loop {
         match op(clk) {
             Ok(v) => return (attempt, Ok(v)),
-            Err(e) if e.is_transient() && attempt < DISK_RETRY_LIMIT => {
-                clk.elapse(backoff_ns(attempt));
+            Err(e) if e.is_transient() && attempt < policy.limit => {
+                clk.elapse(policy.backoff_ns(attempt));
                 attempt += 1;
             }
             Err(e) => return (attempt, Err(e)),
@@ -353,11 +517,21 @@ pub fn retry_sync<T>(
     }
 }
 
+/// [`retry_sync_with`] under the default policy.
+pub fn retry_sync<T>(
+    clk: &mut Clk,
+    op: impl FnMut(&mut Clk) -> Result<T, IoError>,
+) -> (u32, Result<T, IoError>) {
+    retry_sync_with(&RetryPolicy::default(), clk, op)
+}
+
 /// Retry `op` until it succeeds or fails permanently. For write-behind of
 /// data that must not be dropped (dirty evictions, checkpoint writes):
 /// transient write errors are retried without bound — they clear with
 /// probability 1 for any injection rate below certainty — so only a dead
 /// device ever surfaces, and the caller then deals with genuine loss.
+/// Deliberately not policy-bounded: a cap here would turn a transient
+/// blip into silent data loss.
 pub fn retry_write_forever<T>(mut op: impl FnMut() -> Result<T, IoError>) -> Result<T, IoError> {
     loop {
         match op() {
@@ -368,18 +542,26 @@ pub fn retry_write_forever<T>(mut op: impl FnMut() -> Result<T, IoError>) -> Res
     }
 }
 
-/// Run `op` with the asynchronous retry policy: retries happen at the
-/// same submission instant (the caller's clock is not advanced by
+/// Run `op` with the asynchronous retry policy `policy`: retries happen
+/// at the same submission instant (the caller's clock is not advanced by
 /// write-behind I/O, so there is nothing to back off against).
-pub fn retry_async<T>(mut op: impl FnMut() -> Result<T, IoError>) -> (u32, Result<T, IoError>) {
+pub fn retry_async_with<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<T, IoError>,
+) -> (u32, Result<T, IoError>) {
     let mut attempt = 0u32;
     loop {
         match op() {
             Ok(v) => return (attempt, Ok(v)),
-            Err(e) if e.is_transient() && attempt < DISK_RETRY_LIMIT => attempt += 1,
+            Err(e) if e.is_transient() && attempt < policy.limit => attempt += 1,
             Err(e) => return (attempt, Err(e)),
         }
     }
+}
+
+/// [`retry_async_with`] under the default policy.
+pub fn retry_async<T>(op: impl FnMut() -> Result<T, IoError>) -> (u32, Result<T, IoError>) {
+    retry_async_with(&RetryPolicy::default(), op)
 }
 
 #[cfg(test)]
@@ -512,5 +694,109 @@ mod tests {
         assert_eq!(backoff_ns(1), 4 * MILLISECOND);
         assert_eq!(backoff_ns(3), 64 * MILLISECOND);
         assert_eq!(backoff_ns(10), 64 * MILLISECOND);
+    }
+
+    #[test]
+    fn retry_policy_caps_are_tunable() {
+        let tight = RetryPolicy {
+            limit: 1,
+            base_backoff_ns: 10,
+            backoff_cap_exp: 0,
+        };
+        assert_eq!(tight.backoff_ns(0), 10);
+        assert_eq!(tight.backoff_ns(5), 10, "growth capped at exponent 0");
+        let mut clk = Clk::new();
+        let torn = IoError::new(FaultDevice::Disk, IoErrorKind::TransientWrite, 0);
+        let (attempts, out) = retry_sync_with(&tight, &mut clk, |_clk| Err::<(), _>(torn));
+        assert_eq!(attempts, 1, "one retry, then give up");
+        assert_eq!(out, Err(torn));
+        assert_eq!(clk.now, 10, "only the single configured backoff elapsed");
+        let (attempts, _) = retry_async_with(&tight, || Err::<(), _>(torn));
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn default_retry_policy_matches_legacy_constants() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.limit, DISK_RETRY_LIMIT);
+        for attempt in 0..8 {
+            assert_eq!(p.backoff_ns(attempt), backoff_ns(attempt));
+        }
+    }
+
+    #[test]
+    fn brownout_is_a_pure_window_of_time() {
+        let p = FaultPlan::new(FaultConfig::brownout_train(
+            11, 1000, 5000, /* period */ 0, 0, 10,
+        ));
+        assert_eq!(p.service_factor(999), 1);
+        assert!(!p.in_brownout(999));
+        assert_eq!(p.service_factor(1000), 10);
+        assert!(p.in_brownout(4999));
+        assert_eq!(p.service_factor(5000), 1);
+        // Requests still succeed while browned out, just slower.
+        assert_eq!(p.before_read(FaultDevice::Ssd, 2000), Ok(0));
+        // Two slowdowns were counted (t=1000 and t=4999 queries don't
+        // count; only service_factor calls do).
+        assert_eq!(p.stats().brownout_slowdowns, 1);
+    }
+
+    #[test]
+    fn brownout_train_repeats_until_end() {
+        // Stalls of 100 ns every 1000 ns over [0, 3000).
+        let p = FaultPlan::new(FaultConfig::brownout_train(3, 0, 3000, 1000, 100, 7));
+        for base in [0u64, 1000, 2000] {
+            assert!(p.in_brownout(base));
+            assert!(p.in_brownout(base + 99));
+            assert!(!p.in_brownout(base + 100));
+            assert!(!p.in_brownout(base + 999));
+        }
+        assert!(!p.in_brownout(3000), "train ends at the range end");
+    }
+
+    #[test]
+    fn seeded_brownout_factor_is_in_range_and_stable() {
+        for seed in 0..64u64 {
+            let a = FaultConfig::brownout(seed, 0, 100);
+            let b = FaultConfig::brownout(seed, 0, 100);
+            let fa = a.brownout.expect("spec set").factor;
+            assert_eq!(fa, b.brownout.expect("spec set").factor, "seed-stable");
+            assert!((BROWNOUT_FACTOR_MIN..=BROWNOUT_FACTOR_MAX).contains(&fa));
+        }
+    }
+
+    #[test]
+    fn brownout_consumes_no_rng_stream() {
+        // A plan with transient errors draws the same error stream whether
+        // or not a brownout is configured — window checks are RNG-free.
+        let mut with = FaultConfig::transient(77, 0.3);
+        with.brownout = Some(BrownoutSpec {
+            start: 0,
+            end: 1000,
+            period: 0,
+            duration: 0,
+            factor: 9,
+        });
+        let without = FaultConfig::transient(77, 0.3);
+        let (a, b) = (FaultPlan::new(with), FaultPlan::new(without));
+        let run = |p: &FaultPlan| -> Vec<bool> {
+            (0..200)
+                .map(|i| {
+                    p.service_factor(i);
+                    p.before_read(FaultDevice::Ssd, i).is_err()
+                })
+                .collect()
+        };
+        assert_eq!(run(&a), run(&b));
+    }
+
+    #[test]
+    fn dead_device_does_not_brown_out() {
+        let mut cfg = FaultConfig::brownout(5, 0, 10_000);
+        cfg.death_at = Some(500);
+        let p = FaultPlan::new(cfg);
+        assert!(p.in_brownout(499));
+        assert!(!p.in_brownout(500), "death supersedes slowness");
+        assert_eq!(p.service_factor(600), 1);
     }
 }

@@ -1,0 +1,397 @@
+//! Per-device fail-slow detection.
+//!
+//! A [`FailSlowDetector`] watches one simulated device and decides, in
+//! virtual time, whether the device is *gray-failing*: still answering
+//! every request, just pathologically slowly (an SSD in a GC stall, a
+//! disk group behind a saturated queue). Hard failures raise
+//! [`IoError`](crate::fault::IoError)s and are handled by the retry and
+//! quarantine machinery; latency never does — this detector closes that
+//! gap so upper layers can hedge reads to the replica tier.
+//!
+//! The detector compares each observed per-page service latency against
+//! a baseline calibrated from the device's
+//! [`DeviceProfile`](crate::device::DeviceProfile), cross-checked with
+//! the instantaneous queue depth, with trip/clear hysteresis so the
+//! degraded flag does not flap on single outliers. Every input is
+//! virtual time or integer state updated in submission order, so two
+//! runs that issue the same requests make identical transitions — the
+//! parallel driver's bit-identical replay guarantee holds by
+//! construction.
+//!
+//! State machine (two states, hysteresis on both edges):
+//!
+//! ```text
+//!            ≥ trip_after consecutive slow samples
+//!   Healthy ─────────────────────────────────────▶ Degraded
+//!      ▲                                              │
+//!      └──────────────────────────────────────────────┘
+//!            ≥ clear_after consecutive fast samples
+//! ```
+//!
+//! A sample is *slow* when its observed latency exceeds
+//! `baseline × slow_factor` or the queue depth at submission exceeds
+//! `depth_limit`. Classifying each raw sample (rather than a smoothed
+//! average) means recovery is visible the moment the device serves one
+//! request at healthy speed — crucial when the degraded device only
+//! receives sparse canary probes, whose streak must not be dragged out
+//! by the memory of the slow period. The hysteresis streaks provide all
+//! the smoothing the flag needs; a latency EWMA is still maintained as
+//! an observability statistic (clamped to [`OUTLIER_CLAMP`] × the slow
+//! threshold so one enormous outlier cannot distort it).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Observations are clamped to this multiple of the slow threshold
+/// (`baseline × slow_factor`) before entering the reported EWMA, so a
+/// single enormous outlier cannot distort the smoothed statistic.
+pub const OUTLIER_CLAMP: u64 = 4;
+
+use crate::clock::Time;
+use crate::device::DeviceProfile;
+use crate::sync::Mutex;
+
+/// Tuning knobs for one device's fail-slow detector. The defaults favor
+/// fast detection of 5–50× brownouts while ignoring ordinary queueing
+/// noise; all comparisons inside the detector come from these named
+/// fields, never from inline literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailSlowConfig {
+    /// Divisor `d` of the reported latency EWMA (an observability
+    /// statistic; trip/clear decisions use raw samples): each sample
+    /// moves the average by `1/d` of the distance to the observation.
+    /// Default 8.
+    pub ewma_div: u64,
+    /// Degraded threshold as a multiple of the calibrated baseline
+    /// latency. Default 4×.
+    pub slow_factor: u64,
+    /// A sample is also slow when the device's queue depth at submission
+    /// exceeds this. Default 256 outstanding requests — well above the
+    /// paper's μ = 100 throttle threshold, so a healthy device saturated
+    /// by ordinary load (the normal state during aggressive filling)
+    /// never reads as failing; only the runaway queues a browned-out
+    /// device accumulates do.
+    pub depth_limit: usize,
+    /// Consecutive slow samples required to trip Healthy → Degraded.
+    /// Default 4.
+    pub trip_after: u32,
+    /// Consecutive fast samples required to clear Degraded → Healthy.
+    /// Default 8 (clearing is deliberately slower than tripping).
+    pub clear_after: u32,
+}
+
+impl Default for FailSlowConfig {
+    fn default() -> Self {
+        FailSlowConfig {
+            ewma_div: 8,
+            slow_factor: 4,
+            depth_limit: 256,
+            trip_after: 4,
+            clear_after: 8,
+        }
+    }
+}
+
+/// Plain snapshot of a detector, cheap to compare in determinism
+/// fingerprints.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FailSlowStats {
+    /// Is the device currently flagged degraded?
+    pub degraded: bool,
+    /// Healthy↔Degraded edges taken (both directions).
+    pub transitions: u64,
+    /// Latency samples observed.
+    pub samples: u64,
+    /// Samples classified slow (latency or queue-depth breach).
+    pub slow_samples: u64,
+    /// Current latency EWMA in virtual nanoseconds (smoothed
+    /// observability statistic; not used for trip/clear decisions).
+    pub ewma_ns: Time,
+}
+
+#[derive(Debug)]
+struct DetectorState {
+    cfg: FailSlowConfig,
+    ewma_ns: Time,
+    slow_streak: u32,
+    fast_streak: u32,
+    degraded: bool,
+}
+
+impl DetectorState {
+    fn fresh(cfg: FailSlowConfig) -> Self {
+        DetectorState {
+            cfg,
+            ewma_ns: 0,
+            slow_streak: 0,
+            fast_streak: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// EWMA + queue-depth fail-slow detector for one device (see module
+/// docs for the state machine).
+#[derive(Debug)]
+pub struct FailSlowDetector {
+    /// Calibrated healthy-latency baseline: the device profile's average
+    /// random service time.
+    baseline_ns: Time,
+    state: Mutex<DetectorState>,
+    transitions: AtomicU64,
+    samples: AtomicU64,
+    slow_samples: AtomicU64,
+}
+
+impl FailSlowDetector {
+    /// Build a detector calibrated to `profile`: the healthy baseline is
+    /// the mean of the random read and write service times — the same
+    /// quantity [`SimDevice::overloaded`](crate::device::SimDevice)
+    /// throttles against.
+    pub fn from_profile(profile: &DeviceProfile, cfg: FailSlowConfig) -> Self {
+        let baseline_ns = ((profile.rand_read_ns + profile.rand_write_ns) / 2).max(1);
+        FailSlowDetector {
+            baseline_ns,
+            state: Mutex::new(DetectorState::fresh(cfg)),
+            transitions: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            slow_samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the tuning knobs and forget learned state, so the new
+    /// thresholds start from a clean slate. Cumulative counters survive:
+    /// they are the run's history.
+    pub fn configure(&self, cfg: FailSlowConfig) {
+        *self.state.lock() = DetectorState::fresh(cfg);
+    }
+
+    /// The calibrated healthy baseline in virtual nanoseconds.
+    pub fn baseline_ns(&self) -> Time {
+        self.baseline_ns
+    }
+
+    /// Feed one completed request: its observed per-page *service*
+    /// latency (queue wait excluded — wait grows with healthy load;
+    /// service only grows when the device itself degrades) and the
+    /// device queue depth at submission. Returns the degraded flag
+    /// after the sample.
+    pub fn observe(&self, latency_ns: Time, queue_depth: usize) -> bool {
+        self.samples.fetch_add(1, Relaxed);
+        let mut st = self.state.lock();
+        let threshold = self.baseline_ns.saturating_mul(st.cfg.slow_factor);
+        // Integer EWMA: old + (obs - old)/d, exact and replayable. The
+        // average is seeded from the calibrated baseline so the first
+        // sample carries no more weight than any other. Reported only;
+        // the streaks below judge each raw sample so recovery shows the
+        // moment one request completes at healthy speed.
+        let obs = latency_ns.min(threshold.saturating_mul(OUTLIER_CLAMP));
+        let old = if st.ewma_ns == 0 {
+            self.baseline_ns
+        } else {
+            st.ewma_ns
+        };
+        let d = st.cfg.ewma_div.max(1);
+        st.ewma_ns = if obs >= old {
+            old + (obs - old) / d
+        } else {
+            old - (old - obs) / d
+        };
+        let slow = latency_ns > threshold || queue_depth > st.cfg.depth_limit;
+        if slow {
+            self.slow_samples.fetch_add(1, Relaxed);
+            st.slow_streak += 1;
+            st.fast_streak = 0;
+            if !st.degraded && st.slow_streak >= st.cfg.trip_after {
+                st.degraded = true;
+                self.transitions.fetch_add(1, Relaxed);
+            }
+        } else {
+            st.fast_streak += 1;
+            st.slow_streak = 0;
+            if st.degraded && st.fast_streak >= st.cfg.clear_after {
+                st.degraded = false;
+                self.transitions.fetch_add(1, Relaxed);
+            }
+        }
+        st.degraded
+    }
+
+    /// Is the device currently flagged degraded?
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock().degraded
+    }
+
+    /// Is the device degraded but mid-way through a fast-sample streak —
+    /// i.e. looking like it has recovered, pending confirmation? Hedging
+    /// layers use this to burst canary probes: once one probe comes back
+    /// fast, probing every request completes (or refutes) the clear
+    /// streak in `clear_after` requests instead of `clear_after ×
+    /// probe_interval`.
+    pub fn clearing(&self) -> bool {
+        let st = self.state.lock();
+        st.degraded && st.fast_streak > 0
+    }
+
+    /// Reset learned state (restart modeling: devices come back idle).
+    /// Cumulative counters survive — they are part of the run's history.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        let cfg = st.cfg;
+        *st = DetectorState::fresh(cfg);
+    }
+
+    /// Snapshot for metrics and determinism fingerprints.
+    pub fn stats(&self) -> FailSlowStats {
+        let st = self.state.lock();
+        FailSlowStats {
+            degraded: st.degraded,
+            transitions: self.transitions.load(Relaxed),
+            samples: self.samples.load(Relaxed),
+            slow_samples: self.slow_samples.load(Relaxed),
+            ewma_ns: st.ewma_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(cfg: FailSlowConfig) -> FailSlowDetector {
+        // Baseline = (1000 + 3000)/2 = 2000 ns.
+        let profile = DeviceProfile {
+            rand_read_ns: 1000,
+            seq_read_ns: 500,
+            rand_write_ns: 3000,
+            seq_write_ns: 800,
+        };
+        FailSlowDetector::from_profile(&profile, cfg)
+    }
+
+    #[test]
+    fn baseline_is_mean_random_service() {
+        let d = detector(FailSlowConfig::default());
+        assert_eq!(d.baseline_ns(), 2000);
+    }
+
+    #[test]
+    fn healthy_latencies_never_trip() {
+        let d = detector(FailSlowConfig::default());
+        for _ in 0..10_000 {
+            assert!(!d.observe(2000, 1));
+        }
+        let s = d.stats();
+        assert!(!s.degraded);
+        assert_eq!(s.transitions, 0);
+        assert_eq!(s.slow_samples, 0);
+        assert_eq!(s.ewma_ns, 2000);
+    }
+
+    #[test]
+    fn sustained_slowness_trips_after_hysteresis() {
+        let cfg = FailSlowConfig::default();
+        let d = detector(cfg);
+        // 20× baseline: EWMA crosses 4× baseline quickly, then the
+        // trip_after streak must still elapse.
+        let mut tripped_at = None;
+        for i in 0..100u32 {
+            if d.observe(40_000, 1) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        let at = tripped_at.expect("sustained 20x slowness must trip");
+        assert!(
+            at + 1 >= cfg.trip_after,
+            "tripped before the hysteresis streak: sample {at}"
+        );
+        assert_eq!(d.stats().transitions, 1);
+    }
+
+    #[test]
+    fn single_outlier_does_not_trip() {
+        let d = detector(FailSlowConfig::default());
+        assert!(!d.observe(1_000_000, 1), "one spike is not a gray failure");
+        for _ in 0..100 {
+            assert!(!d.observe(2000, 1));
+        }
+        assert_eq!(d.stats().transitions, 0);
+    }
+
+    #[test]
+    fn recovery_clears_after_longer_streak() {
+        let cfg = FailSlowConfig::default();
+        let d = detector(cfg);
+        while !d.observe(40_000, 1) {}
+        assert!(d.is_degraded());
+        // Fast samples: EWMA decays below threshold, then clear_after
+        // consecutive healthy samples flip the flag back.
+        let mut cleared_at = None;
+        for i in 0..1000u32 {
+            if !d.observe(1000, 1) {
+                cleared_at = Some(i);
+                break;
+            }
+        }
+        let at = cleared_at.expect("recovery must clear the flag");
+        assert!(
+            at + 1 >= cfg.clear_after,
+            "cleared before the hysteresis streak: sample {at}"
+        );
+        assert_eq!(d.stats().transitions, 2);
+        assert!(!d.is_degraded());
+    }
+
+    #[test]
+    fn deep_queue_alone_is_a_slow_signal() {
+        let cfg = FailSlowConfig::default();
+        let d = detector(cfg);
+        for _ in 0..cfg.trip_after {
+            d.observe(2000, cfg.depth_limit + 1);
+        }
+        assert!(d.is_degraded(), "queue-depth breach must trip");
+    }
+
+    #[test]
+    fn clearing_flags_a_pending_fast_streak() {
+        let d = detector(FailSlowConfig::default());
+        assert!(!d.clearing(), "healthy device is not clearing");
+        while !d.observe(40_000, 1) {}
+        assert!(!d.clearing(), "degraded with no fast samples yet");
+        d.observe(1000, 1);
+        assert!(d.clearing(), "one fast sample starts the clear streak");
+        d.observe(40_000, 1);
+        assert!(!d.clearing(), "a slow sample refutes the recovery");
+    }
+
+    #[test]
+    fn identical_sample_streams_make_identical_transitions() {
+        let run = || {
+            let d = detector(FailSlowConfig::default());
+            let mut flags = Vec::new();
+            for i in 0..500u64 {
+                let lat = if (100..200).contains(&i) {
+                    50_000
+                } else {
+                    2000
+                };
+                flags.push(d.observe(lat, (i % 7) as usize));
+            }
+            (flags, d.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_forgets_state_but_keeps_history() {
+        let d = detector(FailSlowConfig::default());
+        while !d.observe(40_000, 1) {}
+        let before = d.stats();
+        d.reset();
+        let after = d.stats();
+        assert!(!after.degraded);
+        assert_eq!(after.ewma_ns, 0);
+        assert_eq!(after.transitions, before.transitions, "history survives");
+        assert_eq!(after.samples, before.samples);
+    }
+}

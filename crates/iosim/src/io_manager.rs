@@ -14,6 +14,7 @@ use crate::array::StripedArray;
 use crate::clock::{Clk, Time};
 use crate::device::{DeviceProfile, IoKind, Locality, SimDevice};
 use crate::fault::{self, FaultDevice, FaultPlan, IoError, IoErrorKind};
+use crate::health::{FailSlowConfig, FailSlowDetector, FailSlowStats};
 use crate::page::{PageBuf, PageId};
 use crate::profiles;
 use crate::store::{MemStore, PageStore};
@@ -113,6 +114,10 @@ pub struct IoManager {
     lost_disk_writes: crate::sync::Mutex<std::collections::HashSet<PageId>>,
     /// Fast-path flag: true while `lost_disk_writes` may be non-empty.
     any_lost_writes: std::sync::atomic::AtomicBool,
+    /// Fail-slow detector for the disk group, fed by every disk request.
+    disk_health: FailSlowDetector,
+    /// Fail-slow detector for the SSD, fed by every SSD request.
+    ssd_health: FailSlowDetector,
 }
 
 impl IoManager {
@@ -136,6 +141,17 @@ impl IoManager {
             ssd_fault: RwLock::new(None),
             lost_disk_writes: crate::sync::Mutex::new(std::collections::HashSet::new()),
             any_lost_writes: std::sync::atomic::AtomicBool::new(false),
+            // Single-request baselines: the disk detector watches one
+            // member's service time (a striped request occupies one
+            // spindle), the SSD detector its whole device.
+            disk_health: FailSlowDetector::from_profile(
+                &setup.disk_profile.per_member_of(setup.num_disks.max(1)),
+                FailSlowConfig::default(),
+            ),
+            ssd_health: FailSlowDetector::from_profile(
+                &setup.ssd_profile,
+                FailSlowConfig::default(),
+            ),
         }
     }
 
@@ -186,6 +202,62 @@ impl IoManager {
         }
     }
 
+    /// The brownout service-time multiplier for a request admitted to
+    /// `device` at `now` (1 outside brownout windows).
+    fn service_scale(&self, device: FaultDevice, now: Time) -> u32 {
+        match self.plan_for(device) {
+            Some(p) => p.service_factor(now),
+            None => 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fail-slow detection
+    // ------------------------------------------------------------------
+
+    /// Per-page *service* latency of a completed ticket, plus any
+    /// fault-injected extra. Service time — not end-to-end latency — is
+    /// what the detectors sample: queue wait grows with healthy load
+    /// (saturation is the normal state under aggressive filling), while
+    /// service time only grows when the device itself slows down, which
+    /// is exactly the brownout signature.
+    fn observed_ns(t: &crate::device::IoTicket, extra: Time, npages: u64) -> Time {
+        t.complete.saturating_sub(t.start) / npages.max(1) + extra
+    }
+
+    /// Replace both detectors' tuning knobs (learned state restarts).
+    pub fn configure_failslow(&self, cfg: FailSlowConfig) {
+        self.disk_health.configure(cfg);
+        self.ssd_health.configure(cfg);
+    }
+
+    /// Is the SSD currently flagged fail-slow?
+    pub fn ssd_slow(&self) -> bool {
+        self.ssd_health.is_degraded()
+    }
+
+    /// Is the disk group currently flagged fail-slow?
+    pub fn disk_slow(&self) -> bool {
+        self.disk_health.is_degraded()
+    }
+
+    /// Is the SSD degraded but part-way through a fast-sample streak
+    /// (recovery pending confirmation)? Hedging layers burst canary
+    /// probes while this holds.
+    pub fn ssd_clearing(&self) -> bool {
+        self.ssd_health.clearing()
+    }
+
+    /// Snapshot of the SSD fail-slow detector.
+    pub fn ssd_failslow(&self) -> FailSlowStats {
+        self.ssd_health.stats()
+    }
+
+    /// Snapshot of the disk-group fail-slow detector.
+    pub fn disk_failslow(&self) -> FailSlowStats {
+        self.disk_health.stats()
+    }
+
     pub fn page_size(&self) -> usize {
         self.page_size
     }
@@ -216,11 +288,16 @@ impl IoManager {
         hint: Locality,
     ) -> Result<(), IoError> {
         let extra = self.gate_read(FaultDevice::Disk, clk.now)?;
+        let scale = self.service_scale(FaultDevice::Disk, clk.now);
+        let depth = self.disk.queue_depth(clk.now);
         let t = self
             .disk
-            .submit_page(clk.now, IoKind::Read, pid, Some(hint));
+            .submit_page_scaled(clk.now, IoKind::Read, pid, Some(hint), scale);
         self.disk_store.read(pid, buf);
-        clk.wait_until(t.complete + extra);
+        let done = t.complete + extra;
+        self.disk_health
+            .observe(Self::observed_ns(&t, extra, 1), depth);
+        clk.wait_until(done);
         Ok(())
     }
 
@@ -240,14 +317,21 @@ impl IoManager {
     ) -> Result<Vec<PageBuf>, IoError> {
         let _ = hint; // adjacency is auto-detected per member span
         let extra = self.gate_read(FaultDevice::Disk, clk.now)?;
-        let t = self.disk.submit_run(clk.now, IoKind::Read, first, n, None);
+        let scale = self.service_scale(FaultDevice::Disk, clk.now);
+        let depth = self.disk.queue_depth(clk.now);
+        let t = self
+            .disk
+            .submit_run_scaled(clk.now, IoKind::Read, first, n, None, scale);
         let mut out = Vec::with_capacity(n as usize);
         for i in 0..n {
             let mut buf = PageBuf::zeroed(self.page_size);
             self.disk_store.read(first.offset(i), buf.as_mut_slice());
             out.push(buf);
         }
-        clk.wait_until(t.complete + extra);
+        let done = t.complete + extra;
+        self.disk_health
+            .observe(Self::observed_ns(&t, extra, n), depth);
+        clk.wait_until(done);
         Ok(out)
     }
 
@@ -267,10 +351,17 @@ impl IoManager {
                 return Err(e);
             }
         };
-        let t = self.disk.submit_page(now, IoKind::Write, pid, Some(hint));
+        let scale = self.service_scale(FaultDevice::Disk, now);
+        let depth = self.disk.queue_depth(now);
+        let t = self
+            .disk
+            .submit_page_scaled(now, IoKind::Write, pid, Some(hint), scale);
         self.disk_store.write(pid, data);
         self.clear_lost_write(pid);
-        Ok(t.complete + extra)
+        let done = t.complete + extra;
+        self.disk_health
+            .observe(Self::observed_ns(&t, extra, 1), depth);
+        Ok(done)
     }
 
     /// Synchronously write one database page.
@@ -312,13 +403,16 @@ impl IoManager {
         let plan = self.plan_for(FaultDevice::Disk);
         let torn = plan.as_ref().and_then(|p| p.torn_prefix(pages.len()));
         let persisted = torn.unwrap_or(pages.len());
-        let t = self.disk.submit_run(
+        let scale = plan.as_ref().map_or(1, |p| p.service_factor(now));
+        let depth = self.disk.queue_depth(now);
+        let t = self.disk.submit_run_scaled(
             now,
             IoKind::Write,
             first,
             persisted as u64,
             // First page still seeks; the rest stream.
             Some(Locality::Random),
+            scale,
         );
         for (i, data) in pages.iter().take(persisted).enumerate() {
             self.disk_store.write(first.offset(i as u64), data);
@@ -329,6 +423,9 @@ impl IoManager {
             // it, these pages must not read as fresh.
             self.mark_lost_write(first.offset(i as u64));
         }
+        let done = t.complete + extra;
+        self.disk_health
+            .observe(Self::observed_ns(&t, extra, persisted.max(1) as u64), depth);
         if torn.is_some() {
             return Err(IoError::new(
                 FaultDevice::Disk,
@@ -336,7 +433,7 @@ impl IoManager {
                 now,
             ));
         }
-        Ok(t.complete + extra)
+        Ok(done)
     }
 
     fn mark_lost_write(&self, pid: PageId) {
@@ -389,11 +486,21 @@ impl IoManager {
     /// still in `buf` for forensics; callers must not use them as page data.
     pub fn read_ssd(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
         let extra = self.gate_read(FaultDevice::Ssd, clk.now)?;
-        let t = self
-            .ssd_dev
-            .submit(clk.now, IoKind::Read, frame, 1, Some(Locality::Random));
+        let scale = self.service_scale(FaultDevice::Ssd, clk.now);
+        let depth = self.ssd_dev.queue_depth(clk.now);
+        let t = self.ssd_dev.submit_scaled(
+            clk.now,
+            IoKind::Read,
+            frame,
+            1,
+            Some(Locality::Random),
+            scale,
+        );
         self.ssd_store.read(PageId(frame), buf);
-        clk.wait_until(t.complete + extra);
+        let done = t.complete + extra;
+        self.ssd_health
+            .observe(Self::observed_ns(&t, extra, 1), depth);
+        clk.wait_until(done);
         let written = self.ssd_tags[frame as usize].load(std::sync::atomic::Ordering::Relaxed) != 0;
         if written
             && fault::checksum(buf)
@@ -423,9 +530,13 @@ impl IoManager {
         tag: PageId,
     ) -> Result<Time, IoError> {
         let extra = self.gate_write(FaultDevice::Ssd, now)?;
-        let t = self
-            .ssd_dev
-            .submit(now, IoKind::Write, frame, 1, Some(Locality::Random));
+        let scale = self.service_scale(FaultDevice::Ssd, now);
+        let depth = self.ssd_dev.queue_depth(now);
+        let t =
+            self.ssd_dev
+                .submit_scaled(now, IoKind::Write, frame, 1, Some(Locality::Random), scale);
+        self.ssd_health
+            .observe(Self::observed_ns(&t, extra, 1), depth);
         let plan = self.plan_for(FaultDevice::Ssd);
         if let Some(len) = plan.as_ref().and_then(|p| p.torn_prefix(data.len())) {
             // Torn frame: the new prefix lands over the old frame tail.
@@ -544,6 +655,11 @@ impl IoManager {
         self.disk.reset_time();
         self.ssd_dev.reset_time();
         self.log_dev.reset_time();
+        // A rebooted machine starts with idle, presumed-healthy devices;
+        // the detectors re-learn from the new incarnation's latencies
+        // (their cumulative transition counts survive as history).
+        self.disk_health.reset();
+        self.ssd_health.reset();
     }
 
     /// Reset all device statistics (e.g. between warm-up and measurement).
@@ -764,6 +880,121 @@ mod tests {
         assert!(clk.now > first);
         // 10 bytes -> 1 page, 200 bytes -> 4 pages (64-byte pages).
         assert_eq!(io.log_stats().write_pages, 5);
+    }
+
+    #[test]
+    fn brownout_multiplies_ssd_service_and_trips_the_detector() {
+        let io = io();
+        let mut clk = Clk::new();
+        // Healthy reference latency.
+        io.write_ssd_sync(&mut clk, 0, &[1u8; 64], PageId(0))
+            .unwrap();
+        let mut buf = vec![0u8; 64];
+        let t0 = clk.now;
+        io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+        let healthy = clk.now - t0;
+        assert!(!io.ssd_slow());
+        // Brown out the SSD from here to the far future at 20x.
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(FaultConfig::brownout_train(
+            9,
+            clk.now,
+            u64::MAX,
+            0,
+            0,
+            20,
+        )))));
+        let t1 = clk.now;
+        io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+        let slowed = clk.now - t1;
+        assert!(
+            slowed >= healthy * 20,
+            "brownout must stretch service: {healthy} -> {slowed}"
+        );
+        // Sustained slowness flips the detector with hysteresis.
+        for _ in 0..32 {
+            io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+        }
+        assert!(io.ssd_slow(), "detector must trip during the brownout");
+        let fs = io.ssd_failslow();
+        assert!(fs.degraded);
+        assert_eq!(fs.transitions, 1);
+        assert!(fs.slow_samples > 0);
+        assert!(
+            io.ssd_fault().expect("attached").stats().brownout_slowdowns > 0,
+            "slowdowns must be counted"
+        );
+        // The disk tier is untouched.
+        assert!(!io.disk_slow());
+    }
+
+    #[test]
+    fn detector_clears_after_the_brownout_window_ends() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.write_ssd_sync(&mut clk, 0, &[1u8; 64], PageId(0))
+            .unwrap();
+        let end = clk.now + 500 * crate::clock::MILLISECOND;
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(FaultConfig::brownout_train(
+            2, 0, end, 0, 0, 30,
+        )))));
+        let mut buf = vec![0u8; 64];
+        while clk.now < end {
+            io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+        }
+        assert!(io.ssd_slow());
+        // Healthy reads after the window: EWMA decays, flag clears.
+        for _ in 0..200 {
+            io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+            if !io.ssd_slow() {
+                break;
+            }
+        }
+        assert!(!io.ssd_slow(), "detector must clear after recovery");
+        assert_eq!(io.ssd_failslow().transitions, 2);
+    }
+
+    #[test]
+    fn disk_brownout_feeds_the_disk_detector() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.set_disk_fault(Some(Arc::new(FaultPlan::new(FaultConfig::brownout_train(
+            4,
+            0,
+            u64::MAX,
+            0,
+            0,
+            25,
+        )))));
+        let mut buf = vec![0u8; 64];
+        for i in 0..32 {
+            io.read_disk(&mut clk, PageId(i % 8), &mut buf, Locality::Random)
+                .unwrap();
+        }
+        assert!(io.disk_slow(), "sustained 25x disk slowness must trip");
+        assert!(!io.ssd_slow());
+    }
+
+    #[test]
+    fn reset_device_time_resets_detector_state() {
+        let io = io();
+        let mut clk = Clk::new();
+        io.set_ssd_fault(Some(Arc::new(FaultPlan::new(FaultConfig::brownout_train(
+            7,
+            0,
+            u64::MAX,
+            0,
+            0,
+            40,
+        )))));
+        io.write_ssd_sync(&mut clk, 0, &[1u8; 64], PageId(0))
+            .unwrap();
+        let mut buf = vec![0u8; 64];
+        for _ in 0..32 {
+            io.read_ssd(&mut clk, 0, &mut buf).unwrap();
+        }
+        assert!(io.ssd_slow());
+        io.reset_device_time();
+        assert!(!io.ssd_slow(), "restart forgets the degraded flag");
     }
 
     #[test]

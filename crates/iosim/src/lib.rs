@@ -24,6 +24,7 @@ pub mod array;
 pub mod clock;
 pub mod device;
 pub mod fault;
+pub mod health;
 pub mod io_manager;
 pub mod page;
 pub mod profiles;
@@ -35,7 +36,11 @@ pub mod sync;
 pub use array::StripedArray;
 pub use clock::{Clk, Time, HOUR, MICROSECOND, MILLISECOND, MINUTE, SECOND};
 pub use device::{DeviceProfile, IoKind, IoTicket, Locality, SimDevice};
-pub use fault::{FaultConfig, FaultDevice, FaultPlan, FaultStats, IoError, IoErrorKind};
+pub use fault::{
+    BrownoutSpec, FaultConfig, FaultDevice, FaultPlan, FaultStats, IoError, IoErrorKind,
+    RetryPolicy,
+};
+pub use health::{FailSlowConfig, FailSlowDetector, FailSlowStats};
 pub use io_manager::{DeviceSetup, IoManager};
 pub use page::{PageBuf, PageId};
 pub use profiles::{hdd_array_profile, log_disk_profile, ssd_profile, PAPER_NUM_DISKS};

@@ -1,0 +1,56 @@
+// Fixture: L8 magic-threshold violations. Latency/queue-depth values
+// compared against inline numeric literals instead of named config
+// constants. Fixture paths are in scope for every rule.
+
+pub struct Cfg {
+    pub depth_limit: usize,
+    pub slow_ns: u64,
+}
+
+fn bad_depth(queue_depth: usize) -> bool {
+    queue_depth > 64 // should fire: magic-threshold
+}
+
+fn bad_latency(latency_ns: u64) -> bool {
+    latency_ns >= 4_000_000 // should fire: magic-threshold
+}
+
+fn bad_reversed(ewma: u64) -> bool {
+    2_000_000u64 < ewma // should fire: magic-threshold
+}
+
+fn bad_backoff(backoff_ns: u64) -> bool {
+    backoff_ns <= 500 // should fire: magic-threshold
+}
+
+fn good_named(cfg: &Cfg, queue_depth: usize, latency_ns: u64) -> bool {
+    // Thresholds from named config fields never fire.
+    queue_depth > cfg.depth_limit || latency_ns > cfg.slow_ns
+}
+
+fn good_small(queue_depth: usize) -> bool {
+    // Comparisons against 0 and 1 are structural, not tuning decisions.
+    queue_depth > 0 && queue_depth > 1
+}
+
+fn good_unrelated(frames: u64) -> bool {
+    // No latency/depth token on either side: out of scope.
+    frames > 1024
+}
+
+fn suppressed(latency_ns: u64) -> bool {
+    // lint: allow(magic-threshold) — fixture demonstrating suppression
+    latency_ns > 9000
+}
+
+fn good_shift(depth: usize) -> usize {
+    depth << 2 // shift, not a comparison
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_in_tests_are_fine() {
+        assert!(super::bad_depth(65) && 70 > 64);
+    }
+}

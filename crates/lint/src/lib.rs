@@ -51,6 +51,7 @@ pub enum Rule {
     Unsafe,
     IoError,
     ThreadSpawn,
+    MagicThreshold,
 }
 
 impl Rule {
@@ -63,6 +64,7 @@ impl Rule {
             Rule::Unsafe => "unsafe",
             Rule::IoError => "io-error",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::MagicThreshold => "magic-threshold",
         }
     }
 }
@@ -438,6 +440,7 @@ pub fn scan_file(cfg: &Config, rel: &Path, source: &str) -> Vec<Finding> {
     {
         rule_panic(&p, rel, &mut out);
         rule_io_error(&p, rel, &mut out);
+        rule_magic_threshold(&p, rel, &mut out);
     }
     rule_lock_order(cfg, &p, rel, &mut out);
     rule_design_match(&p, rel, &mut out);
@@ -537,6 +540,101 @@ fn rule_panic(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
                     });
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L8 ----
+
+/// Identifier fragments that mark an operand as a latency or queue-depth
+/// quantity for L8. A comparison between such a quantity and an inline
+/// numeric literal encodes a tuning decision that belongs in a named
+/// config constant (`SsdConfig`, `FailSlowConfig`, `RetryPolicy`, ...).
+const THRESHOLD_TOKENS: &[&str] = &["_ns", "latency", "depth", "ewma", "backoff"];
+
+/// Parse `tok` as a plain integer literal (decimal digits, `_`
+/// separators, optional integer type suffix). Returns its value.
+fn int_literal(tok: &str) -> Option<u128> {
+    const SUFFIXES: &[&str] = &[
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    ];
+    let t = tok.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_');
+    if t.is_empty() || !t.as_bytes()[0].is_ascii_digit() {
+        return None;
+    }
+    let digits_len = t
+        .bytes()
+        .take_while(|b| b.is_ascii_digit() || *b == b'_')
+        .count();
+    let rest = &t[digits_len..];
+    if !rest.is_empty() && !SUFFIXES.contains(&rest) {
+        return None;
+    }
+    t[..digits_len].replace('_', "").parse().ok()
+}
+
+fn has_threshold_token(operand: &str) -> bool {
+    let l = operand.to_ascii_lowercase();
+    THRESHOLD_TOKENS.iter().any(|t| l.contains(t))
+}
+
+/// L8: latency/queue-depth comparisons in the SSD-manager hot path must
+/// test against *named* constants, not inline numeric literals — inline
+/// thresholds drift apart across call sites and silently disagree with
+/// the documented config defaults. Flags `<`/`>`/`<=`/`>=` where one
+/// operand is an integer literal greater than 1 and the other mentions a
+/// latency or depth quantity. Test modules are exempt, like L2/L6.
+fn rule_magic_threshold(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    for (ln, code) in p.code.iter().enumerate() {
+        if p.in_test[ln] {
+            continue;
+        }
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b != b'<' && b != b'>' {
+                i += 1;
+                continue;
+            }
+            let prev = if i > 0 { bytes[i - 1] } else { 0 };
+            let next = if i + 1 < bytes.len() { bytes[i + 1] } else { 0 };
+            // Skip shifts (`<<`/`>>`), arrows (`->`/`=>`), and turbofish-ish
+            // double signs; `<=`/`>=` are comparisons and stay in scope.
+            if prev == b || next == b || prev == b'-' || prev == b'=' {
+                i += 1;
+                continue;
+            }
+            let op_end = if next == b'=' { i + 2 } else { i + 1 };
+            let lhs = code[..i]
+                .trim_end()
+                .rsplit(|c: char| c.is_whitespace() || "(,{".contains(c))
+                .next()
+                .unwrap_or("");
+            let rhs = code[op_end..]
+                .trim_start()
+                .split(|c: char| c.is_whitespace() || "),{;".contains(c))
+                .next()
+                .unwrap_or("");
+            let hit = match (int_literal(lhs), int_literal(rhs)) {
+                (Some(v), None) if v > 1 => has_threshold_token(rhs),
+                (None, Some(v)) if v > 1 => has_threshold_token(lhs),
+                _ => false,
+            };
+            if hit && !allowed(p, ln, Rule::MagicThreshold) {
+                out.push(Finding {
+                    rule: Rule::MagicThreshold,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: format!(
+                        "latency/queue-depth compared against inline literal \
+                         (`{lhs} .. {rhs}`) — name the threshold in config \
+                         (SsdConfig/FailSlowConfig/RetryPolicy) or justify with \
+                         `// lint: allow(magic-threshold)`"
+                    ),
+                });
+            }
+            i = op_end;
         }
     }
 }

@@ -110,6 +110,27 @@ fn thread_spawn_fixture_fires() {
 }
 
 #[test]
+fn magic_threshold_fixture_fires() {
+    let f = fixture("magic_threshold.rs");
+    let hits: Vec<_> = f
+        .iter()
+        .filter(|f| f.rule == Rule::MagicThreshold)
+        .collect();
+    // bad_depth, bad_latency, bad_reversed, bad_backoff; the named-const,
+    // small-literal, unrelated, suppressed, shift, and test-module cases
+    // must all stay silent.
+    assert_eq!(
+        hits.len(),
+        4,
+        "expected exactly the four seeded findings: {f:#?}"
+    );
+    assert!(
+        hits.iter().all(|h| h.line >= 10 && h.line <= 24),
+        "findings outside the seeded bad_* block: {f:#?}"
+    );
+}
+
+#[test]
 fn thread_spawn_allows_the_worker_pool() {
     // The real worker pool uses thread::scope; scanning it through its
     // repo-relative path must stay clean (allowlist direction).

@@ -420,7 +420,9 @@ impl CleanerClient {
 impl Client for CleanerClient {
     fn step(&mut self, clk: &mut Clk) -> StepResult {
         match self.cleaner.step(clk) {
-            CleanerStep::Idle => {
+            CleanerStep::Idle | CleanerStep::Backoff => {
+                // A yielded (congested) round sleeps like an idle one:
+                // re-polling sooner would only re-measure the same queue.
                 clk.elapse(self.cleaner.poll_interval());
                 StepResult::Continue
             }

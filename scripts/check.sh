@@ -25,10 +25,13 @@ cargo test -q --workspace
 echo "==> fault matrix (invariant auditor compiled out: --no-default-features)"
 cargo test -q --no-default-features --test fault_injection --test crash_torture
 
-echo "==> parallel-driver determinism (strict invariants on)"
+echo "==> parallel-driver determinism incl. brownout replay (strict invariants on)"
 cargo test -q --release --features strict-invariants --test driver_determinism
 
 echo "==> driver scaling bench (quick, emits BENCH_driver_scaling.json)"
 TURBO_QUICK=1 cargo bench -q -p turbopool-bench --bench driver_scaling
+
+echo "==> brownout bench (quick, asserts CW/DW/LC >= 2x noSSD while degraded)"
+TURBO_QUICK=1 cargo bench -q -p turbopool-bench --bench brownout
 
 echo "All checks passed."

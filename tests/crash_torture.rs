@@ -13,7 +13,7 @@ use turbopool::core::{SsdConfig, SsdDesign};
 use turbopool::engine::{Database, DbConfig};
 use turbopool::iosim::fault::{FaultConfig, FaultPlan};
 use turbopool::iosim::rng::{Rng, SeedableRng, SmallRng};
-use turbopool::iosim::Clk;
+use turbopool::iosim::{Clk, MILLISECOND, SECOND};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -34,12 +34,16 @@ enum Op {
     /// Attach low-probability transient read/write errors to both devices;
     /// the retry policies must absorb them invisibly.
     TransientIoError,
+    /// The SSD browns out (5-50x slower service) from the current virtual
+    /// time onward; hedged reads and admission skips must keep every
+    /// committed record reachable and correct.
+    Brownout,
 }
 
 /// Weighted op draw: the original 5:4:1:1:1:2 mix plus one slot each for
-/// the two device-fault ops.
+/// the three device-fault ops.
 fn draw_op(rng: &mut SmallRng) -> Op {
-    match rng.gen_range(0u32..16) {
+    match rng.gen_range(0u32..17) {
         0..=4 => Op::Insert(rng.gen()),
         5..=8 => Op::Update {
             target: rng.gen(),
@@ -50,7 +54,8 @@ fn draw_op(rng: &mut SmallRng) -> Op {
         11 => Op::Checkpoint,
         12..=13 => Op::Crash,
         14 => Op::SsdDeath,
-        _ => Op::TransientIoError,
+        15 => Op::TransientIoError,
+        _ => Op::Brownout,
     }
 }
 
@@ -173,6 +178,24 @@ fn committed_state_survives_random_crashes() {
                         p
                     });
                     plan.kill(clk.now);
+                }
+                Op::Brownout => {
+                    // A stall train starting now: 50ms slow windows every
+                    // 200ms until the end of the (virtual) run. Only the
+                    // first Brownout in a sequence installs a plan; later
+                    // ones are no-ops, like repeated SsdDeath kills.
+                    ssd_plan.get_or_insert_with(|| {
+                        let p = Arc::new(FaultPlan::new(FaultConfig::brownout_train(
+                            case,
+                            clk.now,
+                            clk.now + 10 * SECOND,
+                            200 * MILLISECOND,
+                            50 * MILLISECOND,
+                            25,
+                        )));
+                        db.io().set_ssd_fault(Some(Arc::clone(&p)));
+                        p
+                    });
                 }
                 Op::TransientIoError => {
                     // Low enough that the capped retry policy virtually

@@ -88,6 +88,10 @@ impl Client for HeapClient {
 enum Fault {
     None,
     Transient,
+    /// A mid-run SSD stall train: the fail-slow detector must trip and
+    /// clear, and hedged reads must divert to disk — identically at
+    /// every thread count.
+    Brownout,
 }
 
 /// One fully built scenario: a driver over `DOMAINS` share-nothing
@@ -116,6 +120,17 @@ fn build(design: SsdDesign, seed: u64, fault: Fault) -> Scenario {
                 .set_ssd_fault(Some(Arc::new(FaultPlan::new(FaultConfig::transient(
                     seed ^ domain as u64,
                     0.05,
+                )))));
+        }
+        if fault == Fault::Brownout {
+            // Continuous brownout covering the whole active period (the
+            // clients drain their op budgets well before t=10s); pure
+            // function of virtual time, no RNG stream consumed.
+            db.io()
+                .set_ssd_fault(Some(Arc::new(FaultPlan::new(FaultConfig::brownout(
+                    seed ^ domain as u64,
+                    0,
+                    10 * SECOND,
                 )))));
         }
         let mut clk = Clk::new();
@@ -174,6 +189,9 @@ struct Outcome {
     pool: Vec<turbopool::bufpool::PoolStats>,
     disk: Vec<turbopool::iosim::StatSnapshot>,
     ssd_dev: Vec<turbopool::iosim::StatSnapshot>,
+    ssd_failslow: Vec<turbopool::iosim::FailSlowStats>,
+    disk_failslow: Vec<turbopool::iosim::FailSlowStats>,
+    ssd_fault: Vec<Option<turbopool::iosim::fault::FaultStats>>,
     disk_images: Vec<u64>,
     ssd_images: Vec<u64>,
 }
@@ -191,6 +209,13 @@ fn outcome(s: &Scenario) -> Outcome {
         pool: s.dbs.iter().map(|db| db.pool_stats()).collect(),
         disk: s.dbs.iter().map(|db| db.io().disk_stats()).collect(),
         ssd_dev: s.dbs.iter().map(|db| db.io().ssd_stats()).collect(),
+        ssd_failslow: s.dbs.iter().map(|db| db.io().ssd_failslow()).collect(),
+        disk_failslow: s.dbs.iter().map(|db| db.io().disk_failslow()).collect(),
+        ssd_fault: s
+            .dbs
+            .iter()
+            .map(|db| db.io().ssd_fault().map(|p| p.stats()))
+            .collect(),
         disk_images: s
             .dbs
             .iter()
@@ -236,6 +261,39 @@ fn parallel_is_bit_identical_to_sequential_on_every_design() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn parallel_replay_of_brownout_matches_sequential() {
+    // Gray failure must replay bit-identically: same detector transitions,
+    // same hedge/brownout counters, same page images, at every thread
+    // count. LC carries the sole-copy-dirty hedging exception; CW is the
+    // simplest all-clean design — cover both.
+    for design in [SsdDesign::CleanWrite, SsdDesign::LazyCleaning] {
+        let seq = sequential_outcome(design, 0xB70_07, Fault::Brownout);
+        for threads in [2, 4, 8] {
+            let par = parallel_outcome(design, 0xB70_07, Fault::Brownout, threads);
+            assert_eq!(
+                par, seq,
+                "{design:?}: brownout run diverged at {threads} threads"
+            );
+        }
+        // Non-vacuity: the brownout actually tripped the detector and
+        // diverted traffic.
+        let fs = &seq.ssd_failslow[0];
+        assert!(fs.transitions > 0, "detector never tripped: {fs:?}");
+        assert!(fs.slow_samples > 0, "no slow samples observed: {fs:?}");
+        let m = seq.ssd_metrics[0].as_ref().expect("design has an SSD");
+        assert!(
+            m.hedged_reads > 0 || m.hedged_admissions > 0,
+            "no traffic was hedged away from the browned-out SSD: {m:?}"
+        );
+        let f = seq.ssd_fault[0].as_ref().expect("plan attached");
+        assert!(
+            f.brownout_slowdowns > 0,
+            "fault plan never scaled a request: {f:?}"
+        );
     }
 }
 
