@@ -128,8 +128,18 @@ fn main() {
             ("recovered_per_sec".to_string(), Json::Num(recovered)),
             ("total_commits".to_string(), Json::Int(run.rec.total())),
         ];
+        fields.push((
+            "pool_counters".to_string(),
+            turbopool_bench::pool_stats_json(&run.s.db.pool_stats()),
+        ));
         if let Some(m) = run.s.db.ssd_metrics() {
             let fs = run.s.db.io().ssd_failslow();
+            // The full counter block (every SsdMetrics field), plus the
+            // headline hedge/detector numbers at top level for dashboards.
+            fields.push((
+                "ssd_counters".to_string(),
+                turbopool_bench::ssd_metrics_json(&m),
+            ));
             fields.push(("hedged_reads".to_string(), Json::Int(m.hedged_reads)));
             fields.push((
                 "hedged_admissions".to_string(),
@@ -140,6 +150,10 @@ fn main() {
                 Json::Int(fs.transitions),
             ));
             let f = run.s.db.io().ssd_fault().expect("plan attached");
+            fields.push((
+                "fault_counters".to_string(),
+                turbopool_bench::fault_stats_json(&f.stats()),
+            ));
             fields.push((
                 "brownout_slowdowns".to_string(),
                 Json::Int(f.stats().brownout_slowdowns),

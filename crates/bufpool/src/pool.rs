@@ -84,6 +84,17 @@ impl FrameMeta {
     }
 }
 
+/// An eviction decided under the pool latch whose write-behind I/O is
+/// still owed. The slot is privately owned by the holder until new data
+/// is installed, so the victim's bytes survive in the frame meanwhile.
+#[derive(Clone, Copy, Debug)]
+struct PendingEvict {
+    slot: usize,
+    victim: PageId,
+    dirty: bool,
+    class: Locality,
+}
+
 struct Inner {
     map: HashMap<PageId, usize>,
     meta: Vec<FrameMeta>,
@@ -123,10 +134,46 @@ impl Inner {
         let cap = 8 * self.meta.len();
         if self.hist.len() > cap {
             let mut lasts: Vec<u64> = self.hist.values().map(|&(l, _)| l).collect();
-            let mid = lasts.len() / 2;
-            let (_, &mut median, _) = lasts.select_nth_unstable(mid);
+            lasts.sort_unstable();
+            let median = lasts[lasts.len() / 2];
             self.hist.retain(|_, &mut (l, _)| l >= median);
         }
+    }
+
+    /// Obtain a free slot, selecting and detaching the LRU-2 victim if
+    /// necessary — pure bookkeeping, no I/O, so it runs entirely under
+    /// the pool latch. When a page is evicted the caller receives a
+    /// [`PendingEvict`] and must hand the frame's bytes to the storage
+    /// layer (after releasing the pool latch) *before* overwriting the
+    /// frame, since the slot still holds the victim's data.
+    fn vacate_slot(&mut self) -> (usize, Option<PendingEvict>) {
+        if let Some(slot) = self.free.pop() {
+            return (slot, None);
+        }
+        self.filled_once = true;
+        let slot = self.select_victim();
+        let m = self.meta[slot];
+        // lint: allow(panic) — select_victim only returns slots that hold a page once the pool has filled.
+        let victim = m.pid.expect("victim has a page");
+        self.map.remove(&victim);
+        let (prev, last) = self.lru.kdist(slot);
+        self.retain_history(victim, last, prev);
+        self.lru.reset(slot);
+        if m.dirty {
+            self.stats.evictions_dirty += 1;
+        } else {
+            self.stats.evictions_clean += 1;
+        }
+        self.meta[slot] = FrameMeta::empty();
+        (
+            slot,
+            Some(PendingEvict {
+                slot,
+                victim,
+                dirty: m.dirty,
+                class: m.class,
+            }),
+        )
     }
 
     /// Pick and vacate a victim frame. Returns `(slot, evicted meta, data
@@ -241,7 +288,7 @@ impl BufferPool {
             1
         };
 
-        let slot = self.vacate_slot(&mut inner, clk.now);
+        let (slot, evicted) = inner.vacate_slot();
         inner.meta[slot] = FrameMeta {
             pid: Some(pid),
             dirty: false,
@@ -251,9 +298,14 @@ impl BufferPool {
         inner.map.insert(pid, slot);
         inner.adopt_history(slot, pid);
         inner.touch(slot);
+        drop(inner);
+        // Write-behind for the victim happens outside the pool latch but
+        // before any read fills the frame, preserving per-thread I/O order.
+        if let Some(ev) = evicted {
+            self.flush_evicted(clk.now, &ev);
+        }
 
         if expand > 1 {
-            drop(inner);
             let pages = match self.layer.read_run(clk, pid, expand) {
                 Ok(pages) => pages,
                 Err(e) => {
@@ -288,8 +340,10 @@ impl BufferPool {
                 inner.filled_once = true;
             }
         } else {
-            drop(inner);
             let mut buf = self.data[slot].write();
+            // lint: allow(lock-across-io) — frame write latch only, held so
+            // the fill lands atomically; the pool latch is already released
+            // and the frame is pinned by this caller.
             let read = self.layer.read_page(clk, pid, assigned, buf.as_mut_slice());
             drop(buf);
             if let Err(e) = read {
@@ -328,7 +382,7 @@ impl BufferPool {
             !inner.map.contains_key(&pid),
             "create() of resident page {pid}"
         );
-        let slot = self.vacate_slot(&mut inner, now);
+        let (slot, evicted) = inner.vacate_slot();
         inner.meta[slot] = FrameMeta {
             pid: Some(pid),
             dirty: true,
@@ -339,6 +393,9 @@ impl BufferPool {
         inner.adopt_history(slot, pid);
         inner.touch(slot);
         drop(inner);
+        if let Some(ev) = evicted {
+            self.flush_evicted(now, &ev);
+        }
         self.layer.note_dirtied(now, pid);
         self.data[slot].write().as_mut_slice().fill(0);
         PageGuard {
@@ -364,17 +421,26 @@ impl BufferPool {
         // below, so installing them would resurrect stale data. They are
         // skipped here and re-read (fresh) if the scan reaches them.
         let mut stale: Vec<bool> = vec![false; n as usize];
+        // Evictions decided inside the loop owe write-behind I/O that must
+        // not run under the pool latch. The victims' bytes are snapshotted
+        // before their frames are reused and flushed after unlock; every
+        // booking lands at the same virtual instant either way, so the
+        // deferral is invisible to the simulation.
+        let mut owed: Vec<(PendingEvict, PageBuf)> = Vec::new();
         for (i, page) in pages.into_iter().enumerate() {
             let pid = first.offset(i as u64);
             if inner.map.contains_key(&pid) || stale[i] {
                 continue;
             }
             let assigned = inner.classifier.classify_prefetch(pid);
-            let (slot, victim) = self.vacate_slot_noting_victim(&mut inner, clk.now);
-            if let Some(v) = victim {
-                if v.0 >= first.0 && v.0 < first.0 + n {
-                    stale[(v.0 - first.0) as usize] = true;
+            let (slot, evicted) = inner.vacate_slot();
+            if let Some(ev) = evicted {
+                if ev.victim.0 >= first.0 && ev.victim.0 < first.0 + n {
+                    stale[(ev.victim.0 - first.0) as usize] = true;
                 }
+                let mut snap = PageBuf::zeroed(self.cfg.page_size);
+                snap.copy_from(self.data[ev.slot].read().as_slice());
+                owed.push((ev, snap));
             }
             inner.meta[slot] = FrameMeta {
                 pid: Some(pid),
@@ -396,45 +462,25 @@ impl BufferPool {
             inner.stats.prefetched_pages += 1;
             self.data[slot].write().copy_from(page.as_slice());
         }
+        drop(inner);
+        for (ev, snap) in owed {
+            self.layer
+                .evict_page(clk.now, ev.victim, snap.as_slice(), ev.dirty, ev.class);
+        }
         Ok(())
     }
 
-    /// Obtain a free slot, evicting the LRU-2 victim if necessary. The
-    /// evicted page is handed to the storage layer (write-behind).
-    fn vacate_slot(&self, inner: &mut Inner, now: Time) -> usize {
-        self.vacate_slot_noting_victim(inner, now).0
-    }
-
-    /// Like [`Self::vacate_slot`], but also reports which page (if any) was
-    /// evicted to free the slot. `prefetch_run` needs this to detect run
-    /// pages evicted mid-install, whose pre-read snapshots are stale.
-    fn vacate_slot_noting_victim(&self, inner: &mut Inner, now: Time) -> (usize, Option<PageId>) {
-        if let Some(slot) = inner.free.pop() {
-            return (slot, None);
-        }
-        inner.filled_once = true;
-        let slot = inner.select_victim();
-        let m = inner.meta[slot];
-        // lint: allow(panic) — select_victim only returns slots that hold a page once the pool has filled.
-        let victim = m.pid.expect("victim has a page");
-        inner.map.remove(&victim);
-        let (prev, last) = inner.lru.kdist(slot);
-        inner.retain_history(victim, last, prev);
-        inner.lru.reset(slot);
-        if m.dirty {
-            inner.stats.evictions_dirty += 1;
-        } else {
-            inner.stats.evictions_clean += 1;
-        }
-        // No pin: nobody holds the data buffer; hand it below. Eviction
-        // writes are asynchronous: device time is charged at `now` but the
-        // caller does not wait.
-        let data = self.data[slot].read();
-        self.layer
-            .evict_page(now, victim, data.as_slice(), m.dirty, m.class);
-        drop(data);
-        inner.meta[slot] = FrameMeta::empty();
-        (slot, Some(victim))
+    /// Hand an evicted page's bytes to the storage layer (write-behind).
+    /// Eviction writes are asynchronous: device time is charged at `now`
+    /// but the caller does not wait. Must be called *without* the pool
+    /// latch and *before* the vacated frame is overwritten.
+    fn flush_evicted(&self, now: Time, ev: &PendingEvict) {
+        let layer = &self.layer;
+        let data = self.data[ev.slot].read();
+        // lint: allow(lock-across-io) — only the frame's read latch is held
+        // (the pool latch is released); the slot is privately owned by this
+        // caller and evict_page is a non-blocking async booking.
+        layer.evict_page(now, ev.victim, data.as_slice(), ev.dirty, ev.class);
     }
 
     /// Sharp checkpoint of the memory pool: write every dirty page below
@@ -454,12 +500,17 @@ impl BufferPool {
                 .collect()
         };
         let mut done = clk.now;
+        // Reused copy-out buffer: the frame latch protects only the memcpy,
+        // never the write I/O below it.
+        let mut copy = PageBuf::zeroed(self.cfg.page_size);
         for (slot, pid, class) in dirty {
-            let data = self.data[slot].read();
+            {
+                let data = self.data[slot].read();
+                copy.copy_from(data.as_slice());
+            }
             let t = self
                 .layer
-                .checkpoint_write(clk.now, pid, data.as_slice(), class);
-            drop(data);
+                .checkpoint_write(clk.now, pid, copy.as_slice(), class);
             done = done.max(t);
             let mut inner = self.inner.lock();
             // Revalidate: the frame may have been recycled meanwhile.
@@ -714,6 +765,7 @@ mod tests {
         let writes_before = io.disk_stats().write_ops;
         p.checkpoint(&mut clk);
         assert_eq!(p.dirty_count(), 0);
+        assert_eq!(p.stats().checkpoint_writes, 3);
         assert_eq!(io.disk_stats().write_ops - writes_before, 3);
         // Disk now holds the new contents.
         let mut buf = [0u8; PS];

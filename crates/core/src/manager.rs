@@ -23,6 +23,22 @@ use crate::metrics::SsdMetrics;
 use crate::pagebuf::PageBufPool;
 use crate::partition::Partition;
 
+/// What [`SsdManager::plan_reclaim`] decided under the partition latch.
+enum Reclaimed {
+    /// A clean victim was replaced; its frame is already free.
+    Direct,
+    /// The oldest dirty page was detached; its frame stays reserved until
+    /// the caller inline-cleans it (SSD read + disk write) *outside* the
+    /// latch and releases the frame.
+    DirtyDeferred {
+        idx: usize,
+        victim: PageId,
+        frame: u64,
+    },
+    /// Nothing reclaimable in this partition.
+    Failed,
+}
+
 /// SSD buffer-pool manager implementing clean-write, dual-write and
 /// lazy-cleaning. (TAC lives in [`crate::tac::TacCache`].)
 pub struct SsdManager {
@@ -376,18 +392,39 @@ impl SsdManager {
         let mut pending: Option<IoError> = None;
         let mut reclaim_stranded: Option<PageId> = None;
         let mut part = self.part(pid);
-        if part.free_frames() == 0
-            && !self.reclaim_frame(now, &mut part, &mut pending, &mut reclaim_stranded)
-        {
-            // Nothing reclaimable in this partition (everything dirty and
-            // inline cleaning exhausted): skip the admission, but a dirty
-            // page must still land somewhere durable.
-            drop(part);
-            self.settle_reclaim(pending, reclaim_stranded);
-            if dirty {
-                self.disk_write(now, pid, data);
+        if part.free_frames() == 0 {
+            match self.plan_reclaim(&mut part) {
+                Reclaimed::Direct => {}
+                Reclaimed::DirtyDeferred { idx, victim, frame } => {
+                    // The victim's frame stays reserved (invisible to
+                    // `insert`) until released, so its bytes cannot be
+                    // overwritten before the inline clean reads them —
+                    // which lets the SSD read and disk write run outside
+                    // the partition latch.
+                    drop(part);
+                    self.inline_clean_detached(
+                        now,
+                        victim,
+                        frame,
+                        &mut pending,
+                        &mut reclaim_stranded,
+                    );
+                    part = self.part(pid);
+                    part.release(idx);
+                }
+                Reclaimed::Failed => {
+                    // Nothing reclaimable in this partition (it is empty —
+                    // impossible here since free_frames() == 0 — or every
+                    // heap is drained): skip the admission, but a dirty
+                    // page must still land somewhere durable.
+                    drop(part);
+                    self.settle_reclaim(pending, reclaim_stranded);
+                    if dirty {
+                        self.disk_write(now, pid, data);
+                    }
+                    return;
+                }
             }
-            return;
         }
         let stamp = self.next_stamp();
         // lint: allow(panic) — guarded by the free-frame check above; the partition cannot be full here.
@@ -430,9 +467,9 @@ impl SsdManager {
         self.settle_reclaim(pending, reclaim_stranded);
     }
 
-    /// Flush bookkeeping deferred by [`Self::reclaim_frame`] (which runs
-    /// under the partition latch and therefore cannot touch the error
-    /// budget or the stranded queue itself).
+    /// Flush bookkeeping deferred by the reclaim path (which starts under
+    /// the partition latch and therefore cannot touch the error budget or
+    /// the stranded queue itself).
     fn settle_reclaim(&self, pending: Option<IoError>, stranded: Option<PageId>) {
         if let Some(pid) = stranded {
             self.stranded.lock().push(pid);
@@ -445,54 +482,63 @@ impl SsdManager {
     }
 
     /// Free one frame in `part` by LRU-2 replacement from the clean heap;
-    /// falls back to inline-cleaning the oldest dirty page when every page
-    /// is dirty (LC under extreme λ). Runs under the partition latch, so
-    /// SSD errors are reported back through `pending` / `stranded_out`
-    /// for the caller to settle after dropping the latch.
-    fn reclaim_frame(
-        &self,
-        now: Time,
-        part: &mut Partition,
-        pending: &mut Option<IoError>,
-        stranded_out: &mut Option<PageId>,
-    ) -> bool {
+    /// falls back to *detaching* the oldest dirty page when every page is
+    /// dirty (LC under extreme λ). Pure bookkeeping — it runs entirely
+    /// under the partition latch and performs no I/O; a `DirtyDeferred`
+    /// result obliges the caller to inline-clean the detached victim
+    /// (outside the latch) and then release its frame.
+    fn plan_reclaim(&self, part: &mut Partition) -> Reclaimed {
         if let Some((_, victim)) = part.peek_clean_victim() {
             let rec = part.remove(victim);
             self.audit(rec.pid, AuditOp::Replace);
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             SsdMetrics::bump(&self.metrics.replacements);
-            return true;
+            return Reclaimed::Direct;
         }
-        // All pages dirty: clean the oldest one inline (read SSD, write
-        // disk — both charged asynchronously since eviction is async).
+        // All pages dirty: detach the oldest for inline cleaning.
         if let Some((_, oldest)) = part.peek_dirty_oldest() {
-            let rec = *part.record(oldest);
-            let frame = part.frame_no(oldest);
-            let mut buf = vec![0u8; self.io.page_size()];
-            let mut tmp = Clk::at(now);
-            match self.ssd_read(&mut tmp, frame, &mut buf) {
-                Ok(()) => {
-                    self.disk_write(tmp.now, rec.pid, &buf);
-                    part.remove(oldest);
-                    self.audit(rec.pid, AuditOp::InlineClean);
-                    SsdMetrics::bump(&self.metrics.inline_cleans);
-                }
-                Err(e) => {
-                    // The dirty victim's sole copy is unreadable: the frame
-                    // is still freed, but the page is stranded for WAL
-                    // salvage instead of cleaned to disk.
-                    part.remove(oldest);
-                    self.audit(rec.pid, AuditOp::CorruptInvalidate);
-                    *pending = Some(e);
-                    *stranded_out = Some(rec.pid);
-                }
-            }
+            let rec = part.detach(oldest);
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             self.dirty_total.fetch_sub(1, Ordering::Relaxed);
             SsdMetrics::bump(&self.metrics.replacements);
-            return true;
+            return Reclaimed::DirtyDeferred {
+                idx: oldest,
+                victim: rec.pid,
+                frame: part.frame_no(oldest),
+            };
         }
-        false
+        Reclaimed::Failed
+    }
+
+    /// Inline-clean a victim detached by [`Self::plan_reclaim`]: read its
+    /// sole copy off the SSD and write it to disk (both charged
+    /// asynchronously since eviction is async). Must be called *without*
+    /// the partition latch; the detached frame still holds the bytes.
+    fn inline_clean_detached(
+        &self,
+        now: Time,
+        victim: PageId,
+        frame: u64,
+        pending: &mut Option<IoError>,
+        stranded_out: &mut Option<PageId>,
+    ) {
+        let mut buf = vec![0u8; self.io.page_size()];
+        let mut tmp = Clk::at(now);
+        match self.ssd_read(&mut tmp, frame, &mut buf) {
+            Ok(()) => {
+                self.disk_write(tmp.now, victim, &buf);
+                self.audit(victim, AuditOp::InlineClean);
+                SsdMetrics::bump(&self.metrics.inline_cleans);
+            }
+            Err(e) => {
+                // The dirty victim's sole copy is unreadable: the frame is
+                // still freed, but the page is stranded for WAL salvage
+                // instead of cleaned to disk.
+                self.audit(victim, AuditOp::CorruptInvalidate);
+                *pending = Some(e);
+                *stranded_out = Some(victim);
+            }
+        }
     }
 
     /// Export the SSD buffer table for embedding in a checkpoint record

@@ -168,6 +168,27 @@ impl Partition {
         rec
     }
 
+    /// Remove record `idx` from the table and heaps *without* freeing its
+    /// frame: the frame stays reserved (invisible to `insert`) while the
+    /// caller finishes deferred I/O against its bytes outside the latch,
+    /// then hands it back with [`Self::release`].
+    pub fn detach(&mut self, idx: usize) -> Record {
+        // lint: allow(panic) — documented contract: idx comes from lookup/insert and is occupied.
+        let rec = self.records[idx].take().expect("occupied record");
+        self.map.remove(&rec.pid);
+        self.heap.remove(idx);
+        if rec.dirty {
+            self.dirty -= 1;
+        }
+        rec
+    }
+
+    /// Return a frame detached by [`Self::detach`] to the free list.
+    pub fn release(&mut self, idx: usize) {
+        debug_assert!(self.records[idx].is_none(), "release of occupied frame");
+        self.free.push(idx);
+    }
+
     /// The LRU-2 replacement victim among *clean* pages.
     pub fn peek_clean_victim(&self) -> Option<(Key, usize)> {
         self.heap.peek_min(Side::Clean)
@@ -273,6 +294,22 @@ mod tests {
         p.set_clean(idx);
         p.set_clean(idx);
         assert_eq!(p.dirty_count(), 0);
+    }
+
+    #[test]
+    fn detach_reserves_frame_until_release() {
+        let mut p = Partition::new(0, 2);
+        let a = p.insert(PageId(1), true, 1).unwrap();
+        let _b = p.insert(PageId(2), false, 2).unwrap();
+        let rec = p.detach(a);
+        assert_eq!(rec.pid, PageId(1));
+        assert_eq!(p.dirty_count(), 0);
+        assert_eq!(p.lookup(PageId(1)), None);
+        // Frame still reserved: the partition looks full to insert.
+        assert_eq!(p.free_frames(), 0);
+        assert!(p.insert(PageId(3), false, 3).is_none());
+        p.release(a);
+        assert_eq!(p.insert(PageId(3), false, 3), Some(a));
     }
 
     #[test]

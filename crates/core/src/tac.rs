@@ -372,17 +372,28 @@ impl TacCache {
             }
         };
         let Some(frame) = frame else { return };
-        // Install only on a successful submission: a gate failure (dead or
-        // transient) must not leave a record pointing at unwritten bytes.
+        // Reserve the frame and submit the write *outside* the latch: the
+        // frame is in neither the free list nor the map, so no other path
+        // can claim it while the latch is released. Install only on a
+        // successful submission — a gate failure (dead or transient) must
+        // not leave a record pointing at unwritten bytes.
+        drop(inner);
         let done = match self.io.write_ssd_async(now, frame as u64, data, pid) {
             Ok(t) => t,
             Err(e) => {
-                inner.free.push(frame);
-                drop(inner);
+                self.inner.lock().free.push(frame);
                 self.note_ssd_error(&e);
                 return;
             }
         };
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&pid) {
+            // Lost a race: another admission installed `pid` while the
+            // latch was released. The submitted write is a harmless booking
+            // against a frame that goes straight back to the free list.
+            inner.free.push(frame);
+            return;
+        }
         inner.records[frame] = Some(TacRec {
             pid,
             valid: true,
@@ -586,6 +597,10 @@ impl PageIo for TacCache {
                     SsdMetrics::bump(&self.metrics.hedged_admissions);
                 }
                 if !self.throttled(now) && !hedging {
+                    // lint: allow(lock-across-io) — the refresh-or-invalidate
+                    // decision must be atomic with the record's state, and
+                    // write_ssd_async is an O(1) non-blocking booking; no
+                    // other latch is ever taken under `inner`.
                     match self.io.write_ssd_async(now, frame as u64, data, pid) {
                         Ok(done) => {
                             inner.records[frame] = Some(TacRec {
@@ -683,6 +698,10 @@ impl PageIo for TacCache {
                     SsdMetrics::bump(&self.metrics.hedged_admissions);
                 }
                 if !self.throttled(now) && !hedging {
+                    // lint: allow(lock-across-io) — the refresh-or-invalidate
+                    // decision must be atomic with the record's state, and
+                    // write_ssd_async is an O(1) non-blocking booking; no
+                    // other latch is ever taken under `inner`.
                     match self.io.write_ssd_async(now, frame as u64, data, pid) {
                         Ok(wdone) => {
                             inner.records[frame] = Some(TacRec {

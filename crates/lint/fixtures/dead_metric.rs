@@ -1,0 +1,27 @@
+// Fixture: L11 dead-metric — a counter field no bench emitter or test
+// ever reads is observability rot: it costs an atomic bump on the hot
+// path and tells nobody anything. `used_reads` is read by the test
+// below; `dead_writes` is only ever constructed.
+
+pub struct FooStats {
+    pub used_reads: u64,  // fine: read by the test below
+    pub dead_writes: u64, // should fire: never observed anywhere
+}
+
+fn snap() -> FooStats {
+    FooStats {
+        used_reads: 1,
+        dead_writes: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::snap;
+
+    #[test]
+    fn reads_only_one_field() {
+        let s = snap();
+        assert_eq!(s.used_reads, 1);
+    }
+}

@@ -1,0 +1,51 @@
+// Fixture: L9 determinism — iterating a hash container leaks the
+// hasher's per-process randomness into replay-deterministic state.
+// `bad_publish` reproduces the PR 3 bug shape: commit publication
+// iterating a `HashMap`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Commits {
+    published: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+impl Commits {
+    fn bad_publish(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (pid, lsn) in &self.published {
+            // should fire: publication order follows HashMap iteration
+            out.push((*pid, *lsn));
+        }
+        out
+    }
+
+    fn bad_keys(&self) -> Vec<u64> {
+        self.seen.iter().copied().collect() // should fire: unsorted collect
+    }
+
+    fn good_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.published.keys().copied().collect();
+        v.sort_unstable(); // fine: sorted before observable use
+        v
+    }
+
+    fn good_sum(&self) -> u64 {
+        self.published.values().sum() // fine: order-insensitive sink
+    }
+
+    fn good_ordered(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (pid, _) in &self.ordered {
+            // fine: BTreeMap iterates in key order
+            out.push(*pid);
+        }
+        out
+    }
+
+    fn allowed_drain(&mut self) -> Vec<u64> {
+        // lint: allow(determinism) — teardown path; order never escapes.
+        self.seen.drain().collect()
+    }
+}

@@ -1,0 +1,53 @@
+// Fixture: L10 lock-across-io — a latch guard stays live across a call
+// that transitively reaches the I/O layer (`write_disk_sync` is two
+// hops away: bad -> sweep -> flush_now -> write_disk_sync). Holding a
+// latch while I/O is in flight serializes every other thread behind a
+// device-speed operation.
+
+struct Io;
+
+impl Io {
+    fn write_disk_sync(&self, _pid: u64) {}
+}
+
+struct Pool {
+    inner: std::sync::Mutex<u8>,
+    io: Io,
+}
+
+impl Pool {
+    fn flush_now(&self) {
+        self.io.write_disk_sync(7);
+    }
+
+    fn sweep(&self) {
+        self.flush_now();
+    }
+
+    fn bad(&self) {
+        let g = self.inner.lock();
+        self.sweep(); // should fire: `g` is live across an io-reaching call
+        let _ = g;
+    }
+
+    fn good_scoped(&self) {
+        {
+            let g = self.inner.lock();
+            let _ = g;
+        }
+        self.sweep(); // fine: guard dropped at scope exit
+    }
+
+    fn good_dropped(&self) {
+        let g = self.inner.lock();
+        drop(g);
+        self.sweep(); // fine: guard explicitly dropped first
+    }
+
+    fn allowed(&self) {
+        let g = self.inner.lock();
+        // lint: allow(lock-across-io) — booking is O(1) and non-blocking.
+        self.sweep();
+        let _ = g;
+    }
+}

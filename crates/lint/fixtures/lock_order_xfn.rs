@@ -1,0 +1,48 @@
+// Fixture: interprocedural L3 lock-order — inversions hidden one call
+// away. The declared order (lock_order.toml) puts `catalog` before
+// `inner` before `parts` before `data`; acquiring an earlier class
+// while holding a later one deadlocks against a thread doing the
+// opposite. `grab_inner` acquires `inner` inside a callee; `part` is a
+// guard-returning helper, so its caller holds a `parts`-class latch.
+
+struct S {
+    catalog: std::sync::Mutex<u8>,
+    inner: std::sync::Mutex<u8>,
+    parts: Vec<std::sync::Mutex<u8>>,
+    data: Vec<std::sync::RwLock<u8>>,
+}
+
+impl S {
+    fn grab_inner(&self) {
+        let i = self.inner.lock();
+        let _ = i;
+    }
+
+    fn part(&self) -> std::sync::MutexGuard<'_, u8> {
+        self.parts[0].lock()
+    }
+
+    fn bad_call_under_data(&self) {
+        let d = self.data[0].write();
+        self.grab_inner(); // should fire: callee takes `inner` under `data`
+        let _ = d;
+    }
+
+    fn bad_after_helper(&self) {
+        let p = self.part();
+        let i = self.inner.lock(); // should fire: `inner` after `parts` guard
+        let _ = (p, i);
+    }
+
+    fn good_order(&self) {
+        let c = self.catalog.lock();
+        self.grab_inner(); // fine: catalog precedes inner
+        let _ = c;
+    }
+
+    fn good_helper_then_data(&self) {
+        let p = self.part();
+        let d = self.data[0].read(); // fine: parts precedes data
+        let _ = (p, d);
+    }
+}

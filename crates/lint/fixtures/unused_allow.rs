@@ -1,0 +1,15 @@
+// Fixture: unused-suppression — a `lint: allow(<rule>)` marker that no
+// finding consumes is stale armor: it silently disables the rule for
+// whatever lands on that line next. `used_marker` suppresses a real
+// wallclock finding; `stale_marker` allows `panic` above a line that
+// cannot panic.
+
+fn used_marker() -> std::time::Instant {
+    // lint: allow(wallclock) — fixture exercises a consumed marker.
+    std::time::Instant::now()
+}
+
+fn stale_marker(x: u64) -> u64 {
+    // lint: allow(panic) — nothing here panics; marker is stale.
+    x + 1 // should fire: UnusedAllow on the marker above
+}

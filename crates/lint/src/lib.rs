@@ -30,6 +30,28 @@
 //!   quarantine, WAL salvage) and silently dropping one loses data.
 //!   Justify exceptions with a `// lint: allow(io-error)` comment.
 //!
+//! On top of the per-line rules, a token-stream call graph ([`graph`])
+//! powers the interprocedural rules:
+//!
+//! * **L9 `determinism`** — iterating a `HashMap`/`HashSet` in a
+//!   sim-state crate (`core`, `bufpool`, `iosim`, `wal`, `workload`) is
+//!   a finding unless the results are order-insensitive or sorted before
+//!   observable use: hash iteration order leaks host randomness into the
+//!   deterministic replay (the PR 3 bug class).
+//! * **L10 `lock-across-io`** — a `Mutex`/`RwLock` guard held across a
+//!   call that transitively reaches an `IoManager` submit/read/write
+//!   path. Free under the virtual clock today, a convoy once the pool is
+//!   lock-striped over real I/O.
+//! * **L3, cross-function** — lock acquisition order is also checked
+//!   across one level of intra-crate calls, including guard-returning
+//!   helpers like `SsdManager::part`.
+//! * **L11 `dead-metric`** — every `pub` field of a `*Stats` /
+//!   `*Metrics` / `*Snapshot` struct in a sim-state crate must be read
+//!   by a bench JSON emitter, an integration test, an example, or a
+//!   `#[cfg(test)]` region; unobserved counters are observability rot.
+//! * **`unused-allow`** — a `lint: allow(<rule>)` marker that suppresses
+//!   no finding is itself a finding, so the allow surface only shrinks.
+//!
 //! Comments and string literals are scrubbed before token matching, so a
 //! rule name appearing in a doc comment or a message string never trips
 //! the rule. Findings on a line are suppressed by a `lint: allow(<rule>)`
@@ -37,9 +59,14 @@
 
 #![forbid(unsafe_code)]
 
+mod graph;
+
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use graph::Graph;
 
 /// The rules, named as they appear in `lint: allow(..)` markers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +79,10 @@ pub enum Rule {
     IoError,
     ThreadSpawn,
     MagicThreshold,
+    Determinism,
+    LockAcrossIo,
+    DeadMetric,
+    UnusedAllow,
 }
 
 impl Rule {
@@ -65,6 +96,10 @@ impl Rule {
             Rule::IoError => "io-error",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::MagicThreshold => "magic-threshold",
+            Rule::Determinism => "determinism",
+            Rule::LockAcrossIo => "lock-across-io",
+            Rule::DeadMetric => "dead-metric",
+            Rule::UnusedAllow => "unused-allow",
         }
     }
 }
@@ -162,9 +197,30 @@ pub fn load_lock_order(path: &Path) -> Vec<String> {
         return Vec::new();
     };
     let body = &scrubbed[start + open + 1..start + open + close];
-    body.split(',')
+    let mut order: Vec<String> = Vec::new();
+    for name in body
+        .split(',')
         .map(|s| s.trim().trim_matches('"').to_string())
         .filter(|s| !s.is_empty())
+    {
+        // Duplicate class names would make the order ambiguous; keep the
+        // first occurrence (its position defines the class).
+        if !order.contains(&name) {
+            order.push(name);
+        }
+    }
+    order
+}
+
+/// Allowlist entries naming files that no longer exist under `root`:
+/// each would silently allowlist nothing. The self-test asserts this is
+/// empty so allowlists cannot go stale.
+pub fn stale_allowlist_entries(root: &Path) -> Vec<String> {
+    WALLCLOCK_ALLOWLIST
+        .iter()
+        .chain(THREAD_ALLOWLIST.iter())
+        .filter(|rel| !root.join(rel).is_file())
+        .map(|rel| rel.to_string())
         .collect()
 }
 
@@ -175,14 +231,47 @@ pub fn run(cfg: &Config) -> Vec<Finding> {
     let mut files = Vec::new();
     collect_rs_files(&cfg.root, &cfg.root, &mut files);
     files.sort();
-    let mut findings = Vec::new();
+    let mut prepared: Vec<(PathBuf, Prepared)> = Vec::new();
     for rel in files {
         let Ok(source) = fs::read_to_string(cfg.root.join(&rel)) else {
             continue;
         };
-        findings.extend(scan_file(cfg, &rel, &source));
+        prepared.push((rel, prepare(&source)));
+    }
+    let g = Graph::build(&prepared, &cfg.lock_order);
+    // L11 findings, grouped by the declaring file so its allow markers
+    // and unused-allow accounting see them.
+    let mut dead: HashMap<PathBuf, Vec<Finding>> = HashMap::new();
+    for m in g.dead_metrics() {
+        dead.entry(m.file.clone())
+            .or_default()
+            .push(dead_metric_finding(m));
+    }
+    let mut findings = Vec::new();
+    for (rel, p) in &prepared {
+        let mut out = scan_with(cfg, &g, rel, p);
+        if let Some(extra) = dead.remove(rel) {
+            out.extend(extra);
+        }
+        let (mut kept, used) = apply_markers(p, out);
+        rule_unused_allow(p, rel, &used, &mut kept);
+        kept.sort_by_key(|f| f.line);
+        findings.extend(kept);
     }
     findings
+}
+
+fn dead_metric_finding(m: &graph::MetricField) -> Finding {
+    Finding {
+        rule: Rule::DeadMetric,
+        file: m.file.clone(),
+        line: m.line + 1,
+        message: format!(
+            "counter `{}.{}` is never read by a bench JSON emitter, test, or example — \
+             wire it into a report or remove it (observability rot)",
+            m.strukt, m.field
+        ),
+    }
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
@@ -403,50 +492,137 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Is finding `rule` on line `ln` (0-based) suppressed by a
+/// If finding `rule` on line `ln` (0-based) is suppressed by a
 /// `lint: allow(<rule>)` marker on the same line or the comment block
-/// directly above?
-fn allowed(p: &Prepared, ln: usize, rule: Rule) -> bool {
+/// directly above, return the (0-based) line holding the marker. A
+/// marker must *start* the comment text — prose that merely mentions
+/// `lint: allow(..)` mid-sentence is not a marker.
+fn marker_line(p: &Prepared, ln: usize, rule: Rule) -> Option<usize> {
     let marker = format!("lint: allow({})", rule.name());
-    if p.comments[ln].contains(&marker) {
-        return true;
+    if p.comments.get(ln)?.trim_start().starts_with(&marker) {
+        return Some(ln);
     }
     let mut i = ln;
     while i > 0 && p.comment_only[i - 1] {
         i -= 1;
-        if p.comments[i].contains(&marker) {
-            return true;
+        if p.comments[i].trim_start().starts_with(&marker) {
+            return Some(i);
         }
     }
-    false
+    None
 }
 
-/// Scan one file. `rel` is the path relative to the workspace root; it
-/// drives per-rule scoping. Fixture files (any path containing a
-/// `fixtures` component) are treated as in scope for every rule.
+/// Scan one file in isolation. `rel` is the path relative to the
+/// workspace root; it drives per-rule scoping. Fixture files (any path
+/// containing a `fixtures` component) are treated as in scope for every
+/// rule. The call graph is built from this file alone, so L10's
+/// transitive reach and the cross-function L3 check see intra-file
+/// chains only — enough for fixtures and spot checks; `run` builds the
+/// workspace-wide graph.
 pub fn scan_file(cfg: &Config, rel: &Path, source: &str) -> Vec<Finding> {
-    let p = prepare(source);
+    let files = vec![(rel.to_path_buf(), prepare(source))];
+    let g = Graph::build(&files, &cfg.lock_order);
+    let (rel, p) = &files[0];
+    let mut out = scan_with(cfg, &g, rel, p);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    // L11 needs the workspace-wide observation scope to be meaningful on
+    // product files; in single-file mode it runs for fixtures only.
+    if is_fixture_path(cfg, &rel_str) {
+        for m in g.dead_metrics() {
+            out.push(dead_metric_finding(m));
+        }
+    }
+    let (mut kept, used) = apply_markers(p, out);
+    rule_unused_allow(p, rel, &used, &mut kept);
+    kept.sort_by_key(|f| f.line);
+    kept
+}
+
+/// Fixture files are in scope for every rule, whether reached via their
+/// repo-relative path or by scanning the fixtures dir directly.
+fn is_fixture_path(cfg: &Config, rel_str: &str) -> bool {
+    rel_str.contains("fixtures") || cfg.root.to_string_lossy().contains("fixtures")
+}
+
+/// Run every rule over one prepared file, pushing findings
+/// unconditionally; `lint: allow` suppression happens afterwards in
+/// [`apply_markers`] so unused markers can be detected.
+fn scan_with(cfg: &Config, g: &Graph, rel: &Path, p: &Prepared) -> Vec<Finding> {
     let mut out = Vec::new();
     let rel_str = rel.to_string_lossy().replace('\\', "/");
-    // Fixture files are in scope for every rule, whether reached via
-    // their repo-relative path or by scanning the fixtures dir directly.
-    let is_fixture =
-        rel_str.contains("fixtures") || cfg.root.to_string_lossy().contains("fixtures");
+    let is_fixture = is_fixture_path(cfg, &rel_str);
 
-    rule_wallclock(&p, rel, &rel_str, &mut out);
+    rule_wallclock(p, rel, &rel_str, &mut out);
     if is_fixture
         || rel_str.starts_with("crates/core/src")
         || rel_str.starts_with("crates/bufpool/src")
     {
-        rule_panic(&p, rel, &mut out);
-        rule_io_error(&p, rel, &mut out);
-        rule_magic_threshold(&p, rel, &mut out);
+        rule_panic(p, rel, &mut out);
+        rule_io_error(p, rel, &mut out);
+        rule_magic_threshold(p, rel, &mut out);
     }
-    rule_lock_order(cfg, &p, rel, &mut out);
-    rule_design_match(&p, rel, &mut out);
-    rule_unsafe(&p, rel, &mut out);
-    rule_thread_spawn(&p, rel, &rel_str, &mut out);
+    rule_lock_order(cfg, p, rel, &mut out);
+    rule_design_match(p, rel, &mut out);
+    rule_unsafe(p, rel, &mut out);
+    rule_thread_spawn(p, rel, &rel_str, &mut out);
+    rule_determinism(g, p, rel, &rel_str, is_fixture, &mut out);
+    rule_graph_walk(cfg, g, p, rel, &rel_str, is_fixture, &mut out);
     out
+}
+
+/// Apply `lint: allow` markers: drop suppressed findings, returning the
+/// survivors plus the set of (0-based) comment lines whose marker
+/// suppressed something.
+fn apply_markers(p: &Prepared, findings: Vec<Finding>) -> (Vec<Finding>, HashSet<usize>) {
+    let mut used: HashSet<usize> = HashSet::new();
+    let kept = findings
+        .into_iter()
+        .filter(|f| match marker_line(p, f.line - 1, f.rule) {
+            Some(ml) => {
+                used.insert(ml);
+                false
+            }
+            None => true,
+        })
+        .collect();
+    (kept, used)
+}
+
+/// A `lint: allow(<rule>)` marker that suppresses no finding is itself a
+/// finding: the allow surface may only shrink. Doc comments (`///`,
+/// `//!`) and prose mentioning markers mid-sentence are exempt (a
+/// marker must start the comment text, matching [`marker_line`]), as
+/// are markers inside test code.
+fn rule_unused_allow(p: &Prepared, rel: &Path, used: &HashSet<usize>, out: &mut Vec<Finding>) {
+    for (ln, text) in p.comments.iter().enumerate() {
+        // `///` and `//!` leave a leading '/' or '!' in the captured text.
+        if text.starts_with('/') || text.starts_with('!') || p.in_test[ln] {
+            continue;
+        }
+        let t = text.trim_start();
+        let Some(rest) = t.strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let name = &rest[..close];
+        // The unused-allow rule cannot justify itself away.
+        if name == Rule::UnusedAllow.name() {
+            continue;
+        }
+        if !used.contains(&ln) {
+            out.push(Finding {
+                rule: Rule::UnusedAllow,
+                file: rel.to_path_buf(),
+                line: ln + 1,
+                message: format!(
+                    "`lint: allow({name})` suppresses no finding — remove the marker \
+                     (the allow surface may only shrink)"
+                ),
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------- L1 ----
@@ -457,7 +633,7 @@ fn rule_wallclock(p: &Prepared, rel: &Path, rel_str: &str, out: &mut Vec<Finding
     }
     for (ln, code) in p.code.iter().enumerate() {
         for pat in ["Instant::now", "SystemTime", "thread::sleep"] {
-            if code.contains(pat) && !allowed(p, ln, Rule::Wallclock) {
+            if code.contains(pat) {
                 out.push(Finding {
                     rule: Rule::Wallclock,
                     file: rel.to_path_buf(),
@@ -487,7 +663,7 @@ fn rule_thread_spawn(p: &Prepared, rel: &Path, rel_str: &str, out: &mut Vec<Find
             continue;
         }
         for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
-            if code.contains(pat) && !allowed(p, ln, Rule::ThreadSpawn) {
+            if code.contains(pat) {
                 out.push(Finding {
                     rule: Rule::ThreadSpawn,
                     file: rel.to_path_buf(),
@@ -527,18 +703,16 @@ fn rule_panic(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
                 {
                     continue;
                 }
-                if !allowed(p, ln, Rule::Panic) {
-                    out.push(Finding {
-                        rule: Rule::Panic,
-                        file: rel.to_path_buf(),
-                        line: ln + 1,
-                        message: format!(
-                            "`{}` in buffer-pool hot path — return an error or justify with \
-                             `// lint: allow(panic)`",
-                            pat.trim_end_matches('(')
-                        ),
-                    });
-                }
+                out.push(Finding {
+                    rule: Rule::Panic,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: format!(
+                        "`{}` in buffer-pool hot path — return an error or justify with \
+                         `// lint: allow(panic)`",
+                        pat.trim_end_matches('(')
+                    ),
+                });
             }
         }
     }
@@ -621,7 +795,7 @@ fn rule_magic_threshold(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
                 (None, Some(v)) if v > 1 => has_threshold_token(lhs),
                 _ => false,
             };
-            if hit && !allowed(p, ln, Rule::MagicThreshold) {
+            if hit {
                 out.push(Finding {
                     rule: Rule::MagicThreshold,
                     file: rel.to_path_buf(),
@@ -668,9 +842,9 @@ const IO_RESULT_METHODS: &[&str] = &[
 fn rule_io_error(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
     let mut stmt = String::new();
     let mut stmt_line: Option<usize> = None;
-    let mut check = |stmt: &str, first_ln: Option<usize>, out: &mut Vec<Finding>| {
+    let check = |stmt: &str, first_ln: Option<usize>, out: &mut Vec<Finding>| {
         let Some(ln) = first_ln else { return };
-        if p.in_test[ln] || allowed(p, ln, Rule::IoError) {
+        if p.in_test[ln] {
             return;
         }
         let called = IO_RESULT_METHODS
@@ -791,7 +965,7 @@ fn rule_lock_order(cfg: &Config, p: &Prepared, rel: &Path, out: &mut Vec<Finding
                     if let Some(ident) = receiver_ident(&code[..i + 1]) {
                         if let Some(class) = class_of(&ident) {
                             for g in &guards {
-                                if g.class > class && !allowed(p, ln, Rule::LockOrder) {
+                                if g.class > class {
                                     out.push(Finding {
                                         rule: Rule::LockOrder,
                                         file: rel.to_path_buf(),
@@ -989,7 +1163,7 @@ fn rule_design_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
                 .filter(|d| !body.contains(*d))
                 .copied()
                 .collect();
-            if (wildcard_arm || !missing.is_empty()) && !allowed(p, *ln, Rule::DesignMatch) {
+            if wildcard_arm || !missing.is_empty() {
                 let what = if wildcard_arm {
                     "has a `_` arm".to_string()
                 } else {
@@ -1024,8 +1198,9 @@ fn rule_unsafe(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
             }
             // `forbid(unsafe_code)` style attributes mention the lint
             // name, not the keyword; the ident check above filtered
-            // `unsafe_code` already.
-            let mut justified = allowed(p, ln, Rule::Unsafe);
+            // `unsafe_code` already. A `lint: allow(unsafe)` marker also
+            // works, via the central suppression pass.
+            let mut justified = false;
             let mut i = ln;
             while !justified && i > 0 && p.comment_only[i - 1] {
                 i -= 1;
@@ -1046,6 +1221,388 @@ fn rule_unsafe(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- L9 ----
+
+/// Hash-container iteration entry points (adaptor form).
+const HASH_ITER_PATS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain()",
+    ".into_iter()",
+];
+
+/// Consumers whose result cannot observe iteration order.
+const ORDER_INSENSITIVE_SINKS: &[&str] = &[
+    ".sum()",
+    ".sum::",
+    ".count()",
+    ".max()",
+    ".min()",
+    ".all(",
+    ".any(",
+    ".len()",
+    ".is_empty()",
+];
+
+/// L9: iterating a `HashMap`/`HashSet` in a sim-state crate leaks the
+/// hasher's per-process randomness into replay-deterministic state (the
+/// PR 3 bug class: commit publication iterated a `HashMap`). Exempt when
+/// the statement ends in an order-insensitive sink, collects into a
+/// BTree container, or `let`-binds a collection that is sorted within
+/// the next few lines.
+fn rule_determinism(
+    g: &Graph,
+    p: &Prepared,
+    rel: &Path,
+    rel_str: &str,
+    is_fixture: bool,
+    out: &mut Vec<Finding>,
+) {
+    let in_scope = is_fixture
+        || graph::SIM_CRATES
+            .iter()
+            .any(|c| rel_str.starts_with(&format!("crates/{c}/src")));
+    if !in_scope {
+        return;
+    }
+    let empty = HashSet::new();
+    let hashes = g
+        .hash_idents
+        .get(&graph::crate_of(rel_str))
+        .unwrap_or(&empty);
+    if hashes.is_empty() {
+        return;
+    }
+
+    let check = |stmt: &str, first_ln: Option<usize>, out: &mut Vec<Finding>| {
+        let Some(ln) = first_ln else { return };
+        if p.in_test[ln] {
+            return;
+        }
+        let mut hit: Option<String> = None;
+        'pats: for pat in HASH_ITER_PATS {
+            let mut search = 0usize;
+            while let Some(pos) = stmt[search..].find(pat) {
+                let at = search + pos;
+                search = at + pat.len();
+                if let Some(ident) = receiver_ident(&stmt[..at + 1]) {
+                    if hashes.contains(&ident) {
+                        hit = Some(ident);
+                        break 'pats;
+                    }
+                }
+            }
+        }
+        if hit.is_none() {
+            // `for x in container` / `for x in &container` without an
+            // adaptor (IntoIterator-driven iteration).
+            if let Some(expr) = for_in_expr(stmt) {
+                if !expr.contains('(') {
+                    if let Some(id) = last_ident(expr) {
+                        if hashes.contains(&id) {
+                            hit = Some(id);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(ident) = hit else { return };
+        if ORDER_INSENSITIVE_SINKS.iter().any(|s| stmt.contains(s)) {
+            return;
+        }
+        // Collecting straight into an ordered container is fine.
+        if stmt.contains("BTree") {
+            return;
+        }
+        // `let v = x.keys().collect(); ... v.sort..` shortly after.
+        if let Some(binding) = parse_let_binding(stmt.trim_start()) {
+            let sort_pat = format!("{binding}.sort");
+            let horizon = (ln + 1)..(ln + 16).min(p.code.len());
+            if horizon.clone().any(|l| p.code[l].contains(&sort_pat)) {
+                return;
+            }
+        }
+        out.push(Finding {
+            rule: Rule::Determinism,
+            file: rel.to_path_buf(),
+            line: ln + 1,
+            message: format!(
+                "iteration over hash container `{ident}` — order is nondeterministic across \
+                 processes; use a BTree container, sort before observable use, or justify \
+                 with `// lint: allow(determinism)`"
+            ),
+        });
+    };
+
+    let mut stmt = String::new();
+    let mut stmt_line: Option<usize> = None;
+    for (ln, code) in p.code.iter().enumerate() {
+        for ch in code.chars() {
+            match ch {
+                ';' | '{' | '}' => {
+                    check(&stmt, stmt_line, out);
+                    stmt.clear();
+                    stmt_line = None;
+                }
+                c => {
+                    if stmt_line.is_none() && !c.is_whitespace() {
+                        stmt_line = Some(ln);
+                    }
+                    stmt.push(c);
+                }
+            }
+        }
+        stmt.push(' ');
+    }
+    check(&stmt, stmt_line, out);
+}
+
+/// The expression of a `for .. in EXPR` statement, if any.
+fn for_in_expr(stmt: &str) -> Option<&str> {
+    let mut search = 0usize;
+    while let Some(pos) = stmt[search..].find("for ") {
+        let at = search + pos;
+        search = at + 4;
+        if at > 0 && is_ident_byte(stmt.as_bytes()[at - 1]) {
+            continue;
+        }
+        let rest = &stmt[at + 4..];
+        if let Some(ipos) = rest.find(" in ") {
+            return Some(rest[ipos + 4..].trim());
+        }
+    }
+    None
+}
+
+/// Trailing identifier of an expression (`&self.map` -> `map`).
+fn last_ident(expr: &str) -> Option<String> {
+    let b = expr.trim_end().as_bytes();
+    let end = b.len();
+    let mut start = end;
+    while start > 0 && is_ident_byte(b[start - 1]) {
+        start -= 1;
+    }
+    if start == end || b[start].is_ascii_digit() {
+        None
+    } else {
+        Some(expr.trim_end()[start..].to_string())
+    }
+}
+
+// ------------------------------------------- L10 + cross-function L3 ----
+
+/// A live lock guard tracked through the graph walker.
+struct WalkGuard {
+    binding: String,
+    /// Lock classes this guard holds (empty when the receiver is not a
+    /// declared class — still relevant for L10).
+    classes: Vec<usize>,
+    depth: usize,
+    line: usize,
+    /// Acquired via a guard-returning helper (`self.part(pid)`), in
+    /// which case the intra-function L3 pass cannot see it.
+    from_fn: bool,
+}
+
+/// L10 `lock-across-io` plus the cross-function half of L3: walk each
+/// file tracking `let`-bound guards (direct acquisitions and
+/// guard-returning helpers), then flag (a) calls that transitively reach
+/// an `IoManager` submit/read/write while a guard is live, and (b) calls
+/// into same-crate functions whose own acquisitions would invert the
+/// declared lock order against a held guard.
+fn rule_graph_walk(
+    cfg: &Config,
+    g: &Graph,
+    p: &Prepared,
+    rel: &Path,
+    rel_str: &str,
+    is_fixture: bool,
+    out: &mut Vec<Finding>,
+) {
+    let io_scope = is_fixture
+        || ["core", "bufpool", "workload"]
+            .iter()
+            .any(|c| rel_str.starts_with(&format!("crates/{c}/src")));
+    let krate = graph::crate_of(rel_str);
+    let class_of = |ident: &str| cfg.lock_order.iter().position(|c| c == ident);
+
+    let mut depth = 0usize;
+    let mut guards: Vec<WalkGuard> = Vec::new();
+    let mut stmt = String::new();
+    for (ln, code) in p.code.iter().enumerate() {
+        if code.trim_start().starts_with('#') {
+            continue; // attribute line: #[derive(..)], #[cfg(..)]
+        }
+        let b = code.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() {
+            match b[i] as char {
+                '{' => {
+                    depth += 1;
+                    stmt.clear();
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                    stmt.clear();
+                }
+                ';' => {
+                    if let Some(dropped) = parse_drop(&stmt) {
+                        guards.retain(|g| g.binding != dropped);
+                    }
+                    stmt.clear();
+                }
+                ch => stmt.push(ch),
+            }
+            // Direct acquisition: track the guard; check inversions only
+            // against helper-acquired guards (rule_lock_order owns the
+            // purely intra-function case).
+            for pat in [".lock()", ".read()", ".write()"] {
+                if !b[i..].starts_with(pat.as_bytes()) {
+                    continue;
+                }
+                let cls = receiver_ident(&code[..i + 1]).and_then(|id| class_of(&id));
+                if let Some(a) = cls {
+                    if !p.in_test[ln] {
+                        lock_order_violation(
+                            cfg,
+                            guards.iter().filter(|g| g.from_fn),
+                            a,
+                            None,
+                            rel,
+                            ln,
+                            out,
+                        );
+                    }
+                }
+                let chained = b.get(i + pat.len()) == Some(&b'.');
+                if !chained {
+                    if let Some(binding) = parse_let_binding(stmt.trim_start()) {
+                        guards.push(WalkGuard {
+                            binding,
+                            classes: cls.into_iter().collect(),
+                            depth,
+                            line: ln + 1,
+                            from_fn: false,
+                        });
+                    }
+                }
+            }
+            // Call site.
+            if b[i] == b'(' {
+                if let Some(name) = graph::callee_before(code, i) {
+                    if io_scope
+                        && !p.in_test[ln]
+                        && g.io_reaching.contains(name)
+                        && !guards.is_empty()
+                    {
+                        let gd = guards.last().expect("guards checked non-empty");
+                        out.push(Finding {
+                            rule: Rule::LockAcrossIo,
+                            file: rel.to_path_buf(),
+                            line: ln + 1,
+                            message: format!(
+                                "`{name}` reaches IoManager I/O while latch `{}` (line {}) is \
+                                 held — release the latch before I/O or justify with \
+                                 `// lint: allow(lock-across-io)`",
+                                gd.binding, gd.line
+                            ),
+                        });
+                    }
+                    let key = (krate.clone(), name.to_string());
+                    if let Some(classes) = g.fn_classes.get(&key) {
+                        if !p.in_test[ln] {
+                            for &a in classes {
+                                lock_order_violation(
+                                    cfg,
+                                    guards.iter(),
+                                    a,
+                                    Some(name),
+                                    rel,
+                                    ln,
+                                    out,
+                                );
+                            }
+                        }
+                        if g.guard_fns.contains(&key) && !call_chained(code, i) {
+                            if let Some(binding) = parse_let_binding(stmt.trim_start()) {
+                                guards.push(WalkGuard {
+                                    binding,
+                                    classes: classes.clone(),
+                                    depth,
+                                    line: ln + 1,
+                                    from_fn: true,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        stmt.push(' ');
+    }
+}
+
+/// Emit an L3 finding if acquiring class `a` (directly, or inside called
+/// fn `via`) inverts the declared order against any held guard.
+fn lock_order_violation<'a>(
+    cfg: &Config,
+    held: impl Iterator<Item = &'a WalkGuard>,
+    a: usize,
+    via: Option<&str>,
+    rel: &Path,
+    ln: usize,
+    out: &mut Vec<Finding>,
+) {
+    for gd in held {
+        for &h in &gd.classes {
+            if h > a {
+                let how = match via {
+                    Some(f) => format!("calls `{f}`, which acquires"),
+                    None => "acquires".to_string(),
+                };
+                out.push(Finding {
+                    rule: Rule::LockOrder,
+                    file: rel.to_path_buf(),
+                    line: ln + 1,
+                    message: format!(
+                        "{how} `{}` while holding `{}` (line {}) — declared order is {:?}",
+                        cfg.lock_order[a], cfg.lock_order[h], gd.line, cfg.lock_order
+                    ),
+                });
+                return; // one finding per site is enough
+            }
+        }
+    }
+}
+
+/// Is the call whose `(` sits at byte `open` chained into a longer
+/// expression on the same line (`self.part(pid).frame_no(i)`)? Calls
+/// whose parens span lines are treated as unchained.
+fn call_chained(code: &str, open: usize) -> bool {
+    let b = code.as_bytes();
+    let mut level = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'(' => level += 1,
+            b')' => {
+                level -= 1;
+                if level == 0 {
+                    return b.get(i + 1) == Some(&b'.');
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
 }
 
 #[cfg(test)]
@@ -1227,5 +1784,39 @@ mod tests {
             vec!["a".to_string(), "b".to_string()]
         );
         assert!(load_lock_order(&dir.join("missing.toml")).is_empty());
+    }
+
+    #[test]
+    fn lock_order_dedups_and_survives_formatting() {
+        let dir = std::env::temp_dir().join("turbopool_lint_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lock_order_edge.toml");
+        fs::write(
+            &path,
+            "# lock classes, coarsest first\n\norder = [\n  \"outer\", # coarsest\n\n  \"inner\",\n  \"outer\",\n  \"leaf\", \"inner\",\n]\n",
+        )
+        .unwrap();
+        // Duplicates keep their first occurrence (its position defines the
+        // class); comments and blank lines inside the array are ignored.
+        assert_eq!(load_lock_order(&path), ["outer", "inner", "leaf"]);
+    }
+
+    #[test]
+    fn missing_lock_order_disables_l3_without_error() {
+        let order = load_lock_order(Path::new("/no/such/dir/lock_order.toml"));
+        assert!(order.is_empty(), "missing file must yield an empty order");
+        // An empty order disables L3 (no classes to invert) but leaves
+        // every other rule running.
+        let empty = Config::new(PathBuf::from("."), order);
+        let bad = "fn f(&self) {\n let d = self.data[0].write();\n let i = self.inner.lock();\n}\n";
+        assert!(scan_file(&empty, Path::new("crates/bufpool/src/x.rs"), bad)
+            .iter()
+            .all(|f| f.rule != Rule::LockOrder));
+        let unwrap_src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(
+            scan_file(&empty, Path::new("crates/core/src/x.rs"), unwrap_src)
+                .iter()
+                .any(|f| f.rule == Rule::Panic)
+        );
     }
 }

@@ -1,25 +1,225 @@
 //! `turbopool-lint` binary: scan a tree (default: the workspace root)
-//! and exit non-zero if any rule fires.
+//! and report findings.
 //!
-//! Usage: `cargo run -p turbopool-lint [-- ROOT]`
+//! Usage: `cargo run -p turbopool-lint -- [OPTIONS] [ROOT]`
+//!
+//! * `--format text|json|github` — output style. `text` (default) prints
+//!   one human-readable line per finding; `json` prints a machine-readable
+//!   array (one finding object per line, so the report diffs cleanly);
+//!   `github` prints `::error file=…,line=…::` workflow annotations.
+//! * `--baseline FILE` — suppress findings recorded in FILE (a previous
+//!   `--format json` report). When scanning the workspace root without an
+//!   explicit `--baseline`, `crates/lint/lint_baseline.json` is loaded
+//!   automatically if present.
+//! * `--write-baseline` — rewrite the baseline file from this scan's
+//!   findings and exit successfully.
+//!
+//! The exit code is non-zero only for findings *not* in the baseline, so
+//! CI fails on new violations while grandfathered ones age out. Baseline
+//! entries are keyed on (file, rule, message) — line numbers shift with
+//! unrelated edits and are deliberately ignored.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use turbopool_lint::{load_lock_order, run, workspace_root, Config};
+use turbopool_lint::{load_lock_order, run, workspace_root, Config, Finding};
 
-fn main() -> ExitCode {
-    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    let ws = workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
-    let root = match std::env::args().nth(1) {
-        Some(arg) => {
-            let p = PathBuf::from(&arg);
-            if p.is_absolute() {
-                p
-            } else {
-                cwd.join(p)
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+struct Cli {
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        format: Format::Text,
+        baseline: None,
+        write_baseline: false,
+        root: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = args.next().ok_or("--format needs a value")?;
+                cli.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline needs a value")?;
+                cli.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => cli.write_baseline = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if cli.root.is_some() {
+                    return Err("at most one ROOT argument".to_string());
+                }
+                cli.root = Some(PathBuf::from(other));
             }
         }
+    }
+    Ok(cli)
+}
+
+/// Append `s` to `out` as a JSON string literal.
+fn escape_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut s = String::from("{\"file\":");
+    escape_json(&mut s, &f.file.to_string_lossy());
+    s.push_str(",\"line\":");
+    s.push_str(&f.line.to_string());
+    s.push_str(",\"rule\":");
+    escape_json(&mut s, f.rule.name());
+    s.push_str(",\"message\":");
+    escape_json(&mut s, &f.message);
+    s.push('}');
+    s
+}
+
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&finding_json(f));
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Read one JSON string literal starting at the opening quote; returns
+/// (decoded value, index past the closing quote).
+fn read_json_string(bytes: &[u8], mut i: usize) -> Option<(String, usize)> {
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(bytes.get(i + 2..i + 6)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 6;
+                        continue;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                // Advance one full UTF-8 character, not one byte.
+                let s = std::str::from_utf8(&bytes[i..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Extract the value of `"key":"…"` from one baseline line.
+fn extract_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    read_json_string(line.as_bytes(), at).map(|(v, _)| v)
+}
+
+/// Baseline keys from a previous `--format json` report. The reader is
+/// line-based over our own emitted format (one object per line); it is
+/// not a general JSON parser and does not need to be.
+fn load_baseline(path: &Path) -> Vec<(String, String, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut keys = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let (Some(file), Some(rule), Some(message)) = (
+            extract_field(line, "file"),
+            extract_field(line, "rule"),
+            extract_field(line, "message"),
+        ) else {
+            continue;
+        };
+        keys.push((file, rule, message));
+    }
+    keys
+}
+
+fn key_of(f: &Finding) -> (String, String, String) {
+    (
+        f.file.to_string_lossy().into_owned(),
+        f.rule.name().to_string(),
+        f.message.clone(),
+    )
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("turbopool-lint: {e}");
+            eprintln!(
+                "usage: turbopool-lint [--format text|json|github] \
+                 [--baseline FILE] [--write-baseline] [ROOT]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let ws = workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+    let root = match &cli.root {
+        Some(p) if p.is_absolute() => p.clone(),
+        Some(p) => cwd.join(p),
         None => ws.clone(),
     };
 
@@ -27,20 +227,103 @@ fn main() -> ExitCode {
     // when scanning a subtree (e.g. the fixtures directory).
     let lock_order = load_lock_order(&ws.join("crates/lint/lock_order.toml"));
     let cfg = Config::new(root.clone(), lock_order);
-
     let findings = run(&cfg);
-    for f in &findings {
-        println!("{f}");
+
+    // The checked-in baseline only applies to full workspace scans; a
+    // subtree scan (fixtures, a single crate) reports everything.
+    let default_baseline = ws.join("crates/lint/lint_baseline.json");
+    let baseline_path = cli.baseline.clone().unwrap_or_else(|| {
+        if root == ws {
+            default_baseline.clone()
+        } else {
+            PathBuf::from("/nonexistent-baseline")
+        }
+    });
+
+    if cli.write_baseline {
+        let target = cli.baseline.clone().unwrap_or(default_baseline);
+        if let Err(e) = std::fs::write(&target, render_json(&findings)) {
+            eprintln!("turbopool-lint: cannot write {}: {e}", target.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "turbopool-lint: wrote {} finding(s) to {}",
+            findings.len(),
+            target.display()
+        );
+        return ExitCode::SUCCESS;
     }
-    if findings.is_empty() {
-        println!("turbopool-lint: clean ({})", root.display());
+
+    let baseline = load_baseline(&baseline_path);
+    let fresh: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| !baseline.contains(&key_of(f)))
+        .collect();
+    let suppressed = findings.len() - fresh.len();
+    // Baseline entries that no longer match any finding deserve a nudge:
+    // the debt was paid, so shrink the baseline.
+    let stale = baseline
+        .iter()
+        .filter(|k| !findings.iter().any(|f| &key_of(f) == *k))
+        .count();
+
+    match cli.format {
+        Format::Text => {
+            for f in &fresh {
+                println!("{f}");
+            }
+        }
+        Format::Json => {
+            let owned: Vec<Finding> = fresh.iter().map(|f| (*f).clone()).collect();
+            print!("{}", render_json(&owned));
+        }
+        Format::Github => {
+            for f in &fresh {
+                println!(
+                    "::error file={},line={}::[{}] {}",
+                    f.file.display(),
+                    f.line,
+                    f.rule.name(),
+                    f.message
+                );
+            }
+        }
+    }
+
+    let summary = if fresh.is_empty() {
+        format!("turbopool-lint: clean ({})", root.display())
+    } else {
+        format!(
+            "turbopool-lint: {} new finding(s) in {}",
+            fresh.len(),
+            root.display()
+        )
+    };
+    let mut notes = Vec::new();
+    if suppressed > 0 {
+        notes.push(format!("{suppressed} baselined"));
+    }
+    if stale > 0 {
+        notes.push(format!(
+            "{stale} stale baseline entr{} — regenerate with --write-baseline",
+            if stale == 1 { "y" } else { "ies" }
+        ));
+    }
+    let summary = if notes.is_empty() {
+        summary
+    } else {
+        format!("{summary} ({})", notes.join("; "))
+    };
+    // In json mode stdout is the report; the summary goes to stderr.
+    if matches!(cli.format, Format::Json) {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+
+    if fresh.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!(
-            "turbopool-lint: {} finding(s) in {}",
-            findings.len(),
-            root.display()
-        );
         ExitCode::FAILURE
     }
 }

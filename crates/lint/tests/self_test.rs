@@ -131,6 +131,108 @@ fn magic_threshold_fixture_fires() {
 }
 
 #[test]
+fn determinism_fixture_fires() {
+    let f = fixture("determinism.rs");
+    let hits: Vec<_> = f.iter().filter(|f| f.rule == Rule::Determinism).collect();
+    // bad_publish (the PR 3 bug shape: commit publication iterating a
+    // HashMap) and bad_keys; the sorted, order-insensitive-sink, BTree,
+    // and marker-suppressed cases must all stay silent.
+    assert_eq!(
+        hits.len(),
+        2,
+        "expected exactly the two seeded findings: {f:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|h| h.line == 17 && h.message.contains("published")),
+        "the PR 3 shape (for over &self.published) must fire: {f:#?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.message.contains("seen")),
+        "the unsorted collect over the HashSet must fire: {f:#?}"
+    );
+}
+
+#[test]
+fn lock_across_io_fixture_fires() {
+    let f = fixture("lock_across_io.rs");
+    let hits: Vec<_> = f.iter().filter(|f| f.rule == Rule::LockAcrossIo).collect();
+    // Only bad(): the guard is live across `sweep`, which reaches
+    // `write_disk_sync` two hops away. The scoped, dropped, and
+    // marker-suppressed variants must stay silent.
+    assert_eq!(hits.len(), 1, "expected exactly the seeded finding: {f:#?}");
+    assert!(
+        hits[0].message.contains("sweep") && hits[0].message.contains("`g`"),
+        "finding must name the io-reaching call and the live guard: {f:#?}"
+    );
+}
+
+#[test]
+fn lock_order_xfn_fixture_fires() {
+    let f = fixture("lock_order_xfn.rs");
+    let hits: Vec<_> = f.iter().filter(|f| f.rule == Rule::LockOrder).collect();
+    // bad_call_under_data (inversion hidden inside a callee) and
+    // bad_after_helper (inversion against a guard-returning helper);
+    // the correctly-ordered variants must stay silent.
+    assert_eq!(
+        hits.len(),
+        2,
+        "expected exactly the two seeded findings: {f:#?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.message.contains("grab_inner")),
+        "the cross-function inversion must name the callee: {f:#?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.message.contains("parts")),
+        "the helper-guard inversion must name the held class: {f:#?}"
+    );
+}
+
+#[test]
+fn dead_metric_fixture_fires() {
+    let f = fixture("dead_metric.rs");
+    let hits: Vec<_> = f.iter().filter(|f| f.rule == Rule::DeadMetric).collect();
+    // Only dead_writes: used_reads is read by the fixture's own test.
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly the unobserved counter: {f:#?}"
+    );
+    assert!(
+        hits[0].message.contains("dead_writes"),
+        "finding must name the dead field: {f:#?}"
+    );
+}
+
+#[test]
+fn unused_allow_fixture_fires() {
+    let f = fixture("unused_allow.rs");
+    let unused: Vec<_> = f.iter().filter(|f| f.rule == Rule::UnusedAllow).collect();
+    // The stale panic marker fires; the consumed wallclock marker does
+    // not — and it must actually suppress the wallclock finding.
+    assert_eq!(unused.len(), 1, "expected exactly the stale marker: {f:#?}");
+    assert!(
+        unused[0].message.contains("panic"),
+        "finding must name the stale rule: {f:#?}"
+    );
+    assert!(
+        !f.iter().any(|f| f.rule == Rule::Wallclock),
+        "the consumed marker must still suppress its finding: {f:#?}"
+    );
+}
+
+#[test]
+fn allowlists_name_existing_files() {
+    let stale = turbopool_lint::stale_allowlist_entries(&ws());
+    assert!(
+        stale.is_empty(),
+        "allowlist entries name files that no longer exist (each would \
+         silently allowlist nothing): {stale:?}"
+    );
+}
+
+#[test]
 fn thread_spawn_allows_the_worker_pool() {
     // The real worker pool uses thread::scope; scanning it through its
     // repo-relative path must stay clean (allowlist direction).
