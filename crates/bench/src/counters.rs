@@ -41,6 +41,8 @@ pub fn ssd_metrics_json(s: &SsdMetricsSnapshot) -> Json {
         tac_cancelled_writes,
         dirty_hits,
         warm_imports,
+        warm_rejected_stale,
+        warm_rejected_checksum,
         audit_violations,
         ssd_io_errors,
         checksum_misses,
@@ -73,6 +75,8 @@ pub fn ssd_metrics_json(s: &SsdMetricsSnapshot) -> Json {
         ("tac_cancelled_writes", tac_cancelled_writes),
         ("dirty_hits", dirty_hits),
         ("warm_imports", warm_imports),
+        ("warm_rejected_stale", warm_rejected_stale),
+        ("warm_rejected_checksum", warm_rejected_checksum),
         ("audit_violations", audit_violations),
         ("ssd_io_errors", ssd_io_errors),
         ("checksum_misses", checksum_misses),
@@ -165,8 +169,14 @@ mod tests {
     fn ssd_metrics_emitter_is_field_complete() {
         let j = ssd_metrics_json(&SsdMetricsSnapshot::default());
         let ks = keys(&j);
-        assert_eq!(ks.len(), 30, "one JSON key per SsdMetrics counter");
-        for probe in ["throttled_reads", "ssd_retries", "cleaner_boosts"] {
+        assert_eq!(ks.len(), 32, "one JSON key per SsdMetrics counter");
+        for probe in [
+            "throttled_reads",
+            "ssd_retries",
+            "cleaner_boosts",
+            "warm_rejected_stale",
+            "warm_rejected_checksum",
+        ] {
             assert!(ks.iter().any(|k| k == probe), "missing {probe}");
         }
     }

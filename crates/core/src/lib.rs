@@ -42,7 +42,7 @@ pub use audit::{AuditOp, FrameState, InvariantAuditor};
 pub use cleaner::LazyCleaner;
 pub use coherence::{classify, CoherenceCase, CoherenceViolation};
 pub use config::{MultiPageMode, SsdConfig, SsdDesign};
-pub use manager::SsdManager;
+pub use manager::{ImportReport, SsdManager};
 pub use metrics::SsdMetrics;
 pub use pagebuf::PageBufPool;
 pub use tac::TacCache;

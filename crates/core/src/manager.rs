@@ -39,6 +39,24 @@ enum Reclaimed {
     Failed,
 }
 
+/// Outcome of a hardened warm import ([`SsdManager::import_table_checked`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Checkpointed table entries presented for re-adoption.
+    pub attempted: usize,
+    /// Entries re-adopted after probing clean.
+    pub imported: usize,
+    /// Entries rejected by the staleness filter (frame reused before the
+    /// crash, page redone during recovery, or partition routing changed).
+    pub rejected_stale: usize,
+    /// Entries rejected because the frame's stored bytes failed their
+    /// checksum when probed.
+    pub rejected_checksum: usize,
+    /// True when the import was aborted by a dead or persistently erroring
+    /// SSD; the device is quarantined and the restart proceeds cold.
+    pub aborted_dead: bool,
+}
+
 /// SSD buffer-pool manager implementing clean-write, dual-write and
 /// lazy-cleaning. (TAC lives in [`crate::tac::TacCache`].)
 pub struct SsdManager {
@@ -593,6 +611,81 @@ impl SsdManager {
             }
         }
         imported
+    }
+
+    /// Hardened re-adoption: like [`SsdManager::import_table`], but every
+    /// candidate frame is *probed* — read back through the fault model with
+    /// the standard retry policy and checksum verification — before the
+    /// table entry is trusted.
+    ///
+    /// Damage found during the probe degrades gracefully instead of being
+    /// re-adopted: a checksum mismatch rejects that one frame (torn write
+    /// or bit flip from the previous incarnation), while a device-level
+    /// failure (death, retries exhausted) quarantines the SSD and aborts
+    /// the whole import — the restart proceeds cold rather than fighting a
+    /// failing device during recovery.
+    pub fn import_table_checked(
+        &self,
+        clk: &mut Clk,
+        entries: &[(PageId, u64)],
+        valid: impl Fn(PageId, u64) -> bool,
+    ) -> ImportReport {
+        let mut rep = ImportReport {
+            attempted: entries.len(),
+            ..ImportReport::default()
+        };
+        let mut buf = vec![0u8; self.io.page_size()];
+        for &(pid, frame) in entries {
+            if self.is_quarantined() {
+                rep.aborted_dead = true;
+                break;
+            }
+            if !valid(pid, frame) {
+                rep.rejected_stale += 1;
+                SsdMetrics::bump(&self.metrics.warm_rejected_stale);
+                continue;
+            }
+            match self.ssd_read(clk, frame, &mut buf) {
+                Ok(()) => {}
+                Err(e) if e.kind == IoErrorKind::ChecksumMismatch => {
+                    // The frame's bytes are damaged (torn write or bit flip
+                    // that straddled the crash). Reject just this entry;
+                    // the page's disk image is still current.
+                    self.note_ssd_error(&e);
+                    rep.rejected_checksum += 1;
+                    SsdMetrics::bump(&self.metrics.warm_rejected_checksum);
+                    continue;
+                }
+                Err(e) => {
+                    // Dead or persistently erroring device: quarantine and
+                    // abort the import. Nothing was re-adopted from the
+                    // unprobed remainder, so the restart is simply cold.
+                    self.note_ssd_error(&e);
+                    self.quarantine();
+                    rep.aborted_dead = true;
+                    break;
+                }
+            }
+            let part_idx = self.part_index(pid);
+            let mut part = self.parts[part_idx].lock();
+            let base = part.frame_no(0);
+            let cap = part.capacity() as u64;
+            if frame < base || frame >= base + cap {
+                drop(part);
+                rep.rejected_stale += 1;
+                SsdMetrics::bump(&self.metrics.warm_rejected_stale);
+                continue;
+            }
+            let stamp = self.next_stamp();
+            if part.insert_at((frame - base) as usize, pid, stamp) {
+                drop(part);
+                self.audit(pid, AuditOp::WarmImport);
+                rep.imported += 1;
+                self.occupancy.fetch_add(1, Ordering::Relaxed);
+                SsdMetrics::bump(&self.metrics.warm_imports);
+            }
+        }
+        rep
     }
 
     /// One lazy-cleaning batch (§3.3.5): take the oldest dirty page, gather

@@ -39,6 +39,13 @@ pub struct SsdMetrics {
     pub dirty_hits: AtomicU64,
     /// Pages re-adopted from the SSD at restart (warm-restart extension).
     pub warm_imports: AtomicU64,
+    /// Warm-restart candidates rejected as stale: the frame's in-page
+    /// header no longer names the checkpointed page, or redo advanced the
+    /// page's disk image past the cached copy.
+    pub warm_rejected_stale: AtomicU64,
+    /// Warm-restart candidates rejected because the frame's stored bytes
+    /// failed checksum verification when probed at import time.
+    pub warm_rejected_checksum: AtomicU64,
     /// Buffer-table state-machine violations caught by the invariant
     /// auditor (always 0 unless the state machine itself is broken).
     pub audit_violations: AtomicU64,
@@ -100,6 +107,8 @@ pub struct SsdMetricsSnapshot {
     pub tac_cancelled_writes: u64,
     pub dirty_hits: u64,
     pub warm_imports: u64,
+    pub warm_rejected_stale: u64,
+    pub warm_rejected_checksum: u64,
     pub audit_violations: u64,
     pub ssd_io_errors: u64,
     pub checksum_misses: u64,
@@ -135,6 +144,8 @@ impl SsdMetrics {
             tac_cancelled_writes: self.tac_cancelled_writes.load(Ordering::Relaxed),
             dirty_hits: self.dirty_hits.load(Ordering::Relaxed),
             warm_imports: self.warm_imports.load(Ordering::Relaxed),
+            warm_rejected_stale: self.warm_rejected_stale.load(Ordering::Relaxed),
+            warm_rejected_checksum: self.warm_rejected_checksum.load(Ordering::Relaxed),
             audit_violations: self.audit_violations.load(Ordering::Relaxed),
             ssd_io_errors: self.ssd_io_errors.load(Ordering::Relaxed),
             checksum_misses: self.checksum_misses.load(Ordering::Relaxed),

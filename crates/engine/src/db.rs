@@ -7,11 +7,11 @@ use std::sync::Arc;
 use turbopool_bufpool::{
     BufferPool, BufferPoolConfig, DirectIo, PageGuard, PageIo, PoolStats, ScanCursor,
 };
-use turbopool_core::{SsdDesign, SsdManager, TacCache};
+use turbopool_core::{ImportReport, SsdDesign, SsdManager, TacCache};
 use turbopool_iosim::sync::Mutex;
-use turbopool_iosim::{Clk, IoError, IoManager, Locality, PageId, Time};
+use turbopool_iosim::{fault, Clk, IoError, IoManager, Locality, PageId, RetryPolicy, Time};
 use turbopool_wal::log::DurableLog;
-use turbopool_wal::{LogManager, RecoveryStats};
+use turbopool_wal::{LogManager, LogScanReport, RecoveryStats, RedoStore};
 
 use crate::btree::{self, IndexMeta};
 use crate::config::DbConfig;
@@ -145,6 +145,23 @@ impl Database {
         self.pool.stats()
     }
 
+    /// Validate that a page reference points inside the database file.
+    /// References can come off disk pages (B+-tree child pointers), and a
+    /// damaged restart (mid-log corruption) can roll an inner node back
+    /// past its children — such a pointer must fail like a bad read, not
+    /// panic the page store.
+    pub(crate) fn check_pid(&self, pid: PageId) -> Result<(), IoError> {
+        if pid.0 < self.cfg.db_pages {
+            Ok(())
+        } else {
+            Err(IoError::new(
+                turbopool_iosim::FaultDevice::Disk,
+                turbopool_iosim::IoErrorKind::ChecksumMismatch,
+                0,
+            ))
+        }
+    }
+
     /// True if no copy of `pid` exists anywhere (pool, SSD, disk): the page
     /// has never been written and reads as zeroes.
     pub(crate) fn is_fresh(&self, pid: PageId) -> bool {
@@ -192,7 +209,16 @@ impl Database {
         if pids.is_empty() {
             return 0;
         }
-        let n = turbopool_wal::salvage(&self.log.durable_snapshot(), self.io.disk_store(), &pids);
+        let mut store = SalvageStore { io: &self.io };
+        let n = match turbopool_wal::salvage(&self.log.durable_snapshot(), &mut store, &pids) {
+            Ok(n) => n,
+            // A salvage write failed even after unbounded transient retry:
+            // the disk tier itself is dead. The failing page was marked as
+            // a lost write inside the store, so its readers will surface
+            // the device error instead of zeroes; there is nothing more a
+            // salvage pass can do.
+            Err(_) => 0,
+        };
         if let Some(m) = &self.ssd {
             m.metrics
                 .salvaged_pages
@@ -382,14 +408,58 @@ impl Database {
     }
 
     /// Restart after a crash: replay the durable log onto the disk image,
-    /// then open with cold caches. As in the paper, nothing on the SSD is
-    /// reused — its buffer table was volatile (and §6 calls using it at
-    /// restart an open problem).
+    /// then open with cold caches (or, with the warm-restart extension,
+    /// re-adopt probed-clean SSD frames).
+    ///
+    /// Infallible legacy entry point over [`Database::try_recover`]: the
+    /// fault-free callers (drivers, most tests) have no fault plan attached
+    /// at restart, so recovery cannot fail for them. Panics if the disk
+    /// tier is genuinely dead — there is no database left to open.
     pub fn recover(image: CrashImage) -> (Self, RecoveryStats) {
+        match Self::try_recover(image) {
+            Ok((db, report)) => (db, report.stats),
+            Err(e) => panic!("unrecoverable: disk tier failed during redo: {:?}", e.error),
+        }
+    }
+
+    /// Fault-tolerant restart. Replays the durable log onto the disk image
+    /// through the device fault model (transient redo errors retry with the
+    /// configured capped-backoff policy; recovery's own writes are durable
+    /// crash points), repairs the log tail, and — with warm restart on —
+    /// re-adopts only SSD frames that probe clean, quarantining a dead SSD
+    /// and degrading to a cold start instead of fighting it.
+    ///
+    /// Recovery is *re-entrant*: on `Err` the [`CrashImage`] is handed back
+    /// unchanged (modulo partially-redone disk pages, which redo overwrites
+    /// idempotently), so the caller may simply call `try_recover` again —
+    /// the model of a machine crashing during recovery and rebooting into
+    /// another recovery attempt. Any number of such interruptions converge
+    /// to the same committed state.
+    pub fn try_recover(image: CrashImage) -> Result<(Self, RecoveryReport), Box<RecoveryError>> {
         // The machine rebooted: devices come back idle, virtual time
         // restarts at zero for the new incarnation.
         image.io.reset_device_time();
-        let outcome = turbopool_wal::recover(&image.log.bytes(), image.io.disk_store());
+        let log_bytes = image.log.bytes();
+        let mut clk = Clk::new();
+        let ssd_frames = image.io.ssd_frames();
+        let outcome = {
+            let mut store = TimedRedoStore {
+                io: &image.io,
+                retry: image.cfg.retry,
+                clk: &mut clk,
+                retries: 0,
+            };
+            match turbopool_wal::recover(&log_bytes, &mut store, Some(ssd_frames)) {
+                Ok(o) => (o, store.retries),
+                Err(error) => return Err(Box::new(RecoveryError { error, image })),
+            }
+        };
+        let (outcome, redo_retries) = outcome;
+        // Log repair: everything past the last cleanly decoded byte (a torn
+        // tail, or a corrupt region) is dead weight that would hide future
+        // appends from the *next* recovery. Redo is complete, so it is safe
+        // — and idempotent — to drop it now.
+        image.log.truncate_to_valid(outcome.report.valid_len);
         let log = image.log.reopen(Arc::clone(&image.io));
         let db = Self::build(image.cfg, image.io, Some(log));
         {
@@ -403,18 +473,149 @@ impl Database {
 
         // Warm restart (extension): re-adopt SSD pages recorded in the
         // last checkpoint that are provably still valid — the frame's
-        // in-page header must still name the page (frame not reused) and
-        // the page's disk image must not have advanced during redo.
+        // in-page header must still name the page (frame not reused), the
+        // page's disk image must not have advanced during redo, and the
+        // frame's bytes must probe clean (checksum verified) at import.
+        let mut warm = None;
         if let Some(mgr) = db.ssd.as_ref().filter(|m| m.config().warm_restart) {
             if let Some(entries) = &outcome.ssd_table {
                 let io = Arc::clone(&db.io);
                 let redone = &outcome.redone;
-                mgr.import_table(entries, |pid, frame| {
+                warm = Some(mgr.import_table_checked(&mut clk, entries, |pid, frame| {
                     io.ssd_tag(frame) == Some(pid) && !redone.contains(&pid)
-                });
+                }));
             }
         }
-        (db, outcome.stats)
+        // Recovery's redo and probe I/O booked device time on the new
+        // incarnation's clock; its cost is captured in `duration`. Hand the
+        // system over with idle devices — clients start at virtual zero
+        // *after* recovery, not interleaved with it.
+        db.io.reset_device_time();
+        let report = RecoveryReport {
+            stats: outcome.stats,
+            log: outcome.report,
+            warm,
+            redo_retries,
+            duration: clk.now,
+        };
+        Ok((db, report))
+    }
+
+    /// Fault-injection hook for tests: XOR `mask` into byte `byte` of the
+    /// durable log, modeling at-rest media corruption of the log file.
+    /// Returns false when out of range.
+    pub fn corrupt_log(&self, byte: usize, mask: u8) -> bool {
+        self.log.corrupt_durable(byte, mask)
+    }
+}
+
+/// Everything a restart learned, for callers that must fail loudly.
+///
+/// `log.tail.is_damaged()` distinguishes the two damage classes: a torn
+/// tail (expected after any crash mid-flush; truncated and harmless) versus
+/// mid-log corruption (`LogTail::Corrupt`), after which the recovered state
+/// is the last validated checkpoint plus the log prefix before the damage —
+/// correct but possibly missing commits, which the caller must surface.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Redo counters.
+    pub stats: RecoveryStats,
+    /// Log-scan findings: tail condition, valid prefix length, checkpoint
+    /// validation results.
+    pub log: LogScanReport,
+    /// Warm-restart probe results (`None`: cold restart or no SSD table in
+    /// the checkpoint).
+    pub warm: Option<ImportReport>,
+    /// Transient device errors absorbed by redo's retry policy.
+    pub redo_retries: u32,
+    /// Virtual time the redo pass and warm import consumed.
+    pub duration: Time,
+}
+
+impl RecoveryReport {
+    /// Did this restart lose access to committed data (mid-log corruption)
+    /// — as opposed to merely degrading performance (cold caches)?
+    pub fn is_damaged(&self) -> bool {
+        self.log.tail.is_damaged()
+            && matches!(self.log.tail, turbopool_wal::LogTail::Corrupt { .. })
+    }
+}
+
+/// Recovery could not complete: a redo read or write failed permanently.
+/// Carries the [`CrashImage`] back so the caller can retry (`try_recover`
+/// is re-entrant) once the fault clears, or give up loudly.
+pub struct RecoveryError {
+    pub error: IoError,
+    pub image: CrashImage,
+}
+
+impl std::fmt::Debug for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryError")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Redo-store over the live device model: every recovery read and write
+/// goes through the disk array with fault gating and timing, retrying
+/// transient errors with the engine's capped-backoff policy. This is what
+/// makes recovery measurable (virtual duration) and crashable (each redo
+/// write is a durable-write boundary for the crash-schedule explorer).
+struct TimedRedoStore<'a> {
+    io: &'a IoManager,
+    retry: RetryPolicy,
+    clk: &'a mut Clk,
+    retries: u32,
+}
+
+impl RedoStore for TimedRedoStore<'_> {
+    fn page_size(&self) -> usize {
+        self.io.page_size()
+    }
+    fn read(&mut self, pid: PageId, buf: &mut [u8]) -> Result<(), IoError> {
+        let (r, out) = fault::retry_sync_with(&self.retry, self.clk, |c| {
+            self.io.read_disk(c, pid, buf, Locality::Sequential)
+        });
+        self.retries += r;
+        out
+    }
+    fn write(&mut self, pid: PageId, data: &[u8]) -> Result<(), IoError> {
+        let (r, out) = fault::retry_sync_with(&self.retry, self.clk, |c| {
+            self.io.write_disk_sync(c, pid, data, Locality::Sequential)
+        });
+        self.retries += r;
+        out
+    }
+}
+
+/// Redo-store for live WAL-tail salvage: reads come straight from the disk
+/// image (the base the log deltas patch), writes go through the device
+/// write-behind path with unbounded transient retry — only a dead disk
+/// falls through, and then the lost write is recorded so readers fail
+/// loudly instead of seeing stale bytes.
+struct SalvageStore<'a> {
+    io: &'a IoManager,
+}
+
+impl RedoStore for SalvageStore<'_> {
+    fn page_size(&self) -> usize {
+        self.io.page_size()
+    }
+    fn read(&mut self, pid: PageId, buf: &mut [u8]) -> Result<(), IoError> {
+        self.io.disk_store().read(pid, buf);
+        Ok(())
+    }
+    fn write(&mut self, pid: PageId, data: &[u8]) -> Result<(), IoError> {
+        match fault::retry_write_forever(|| {
+            self.io.write_disk_async(0, pid, data, Locality::Random)
+        }) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.io.note_lost_write(pid);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -430,6 +631,15 @@ pub struct CrashImage {
     names: HashMap<String, (bool, usize)>,
     alloc: u64,
     next_tx: u64,
+}
+
+impl CrashImage {
+    /// The device stack the image rides on. Exposed so crash-schedule
+    /// drivers can arm (or clear) a [`turbopool_iosim::CrashSwitch`] across
+    /// a reboot — recovery's own writes are durable crash points too.
+    pub fn io(&self) -> &Arc<IoManager> {
+        &self.io
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -19,11 +19,13 @@
 pub mod btree;
 pub mod config;
 pub mod db;
+pub mod explorer;
 pub mod heap;
 pub mod loader;
 pub mod txn;
 
 pub use config::DbConfig;
-pub use db::{CrashImage, Database, HeapId, IndexId};
+pub use db::{CrashImage, Database, HeapId, IndexId, RecoveryError, RecoveryReport};
+pub use explorer::{explore, ExplorerConfig, ExplorerOutcome};
 pub use loader::{bulk_load_heap, bulk_load_index};
 pub use txn::{CommitOutcome, Txn};

@@ -122,6 +122,15 @@ impl<'d, 'c> Txn<'d, 'c> {
         if let Some(p) = self.overlay.get(&pid) {
             return f(p.as_slice());
         }
+        if let Err(e) = self.db.check_pid(pid) {
+            // A reference that points outside the database file — only
+            // reachable by following a pointer on a damaged page (e.g. a
+            // B+-tree descent after mid-log corruption rolled an inner node
+            // back past its children). Poison instead of panicking so the
+            // access method unwinds and the caller sees the error.
+            self.poison(e);
+            return f(&vec![0u8; self.db.page_size()]);
+        }
         if self.db.is_fresh(pid) {
             // Never-written page: reads as zeroes with no I/O and no frame.
             return f(&vec![0u8; self.db.page_size()]);
@@ -148,7 +157,13 @@ impl<'d, 'c> Txn<'d, 'c> {
     ) -> R {
         if !self.overlay.contains_key(&pid) {
             let mut buf = PageBuf::zeroed(self.db.page_size());
-            if !self.db.is_fresh(pid) {
+            if let Err(e) = self.db.check_pid(pid) {
+                // Same damaged-pointer defense as `read_page`: the write
+                // stays in the overlay (it can never publish — the
+                // transaction is poisoned) instead of indexing out of the
+                // page store.
+                self.poison(e);
+            } else if !self.db.is_fresh(pid) {
                 match self.db.get_with_salvage(self.clk, pid, class) {
                     Ok(g) => g.read(|b| buf.copy_from(b)),
                     // A missing pre-image poisons the whole transaction:
@@ -186,7 +201,18 @@ impl<'d, 'c> Txn<'d, 'c> {
             log.append(rec);
         }
         log.append(&LogRecord::Commit { txid: self.id });
-        log.flush(self.clk);
+        if !log.flush(self.clk) {
+            // Power died during the commit flush (crash-schedule switch):
+            // the commit record never became durable, so this transaction
+            // did NOT commit. Publish nothing — the machine is off, and the
+            // next incarnation's recovery must not find these writes
+            // applied anywhere.
+            return CommitOutcome::AbortedIo(IoError::new(
+                turbopool_iosim::FaultDevice::Disk,
+                turbopool_iosim::IoErrorKind::DeviceDead,
+                self.clk.now,
+            ));
+        }
         // Publication: install the after-images into the buffer pool,
         // dirtying the pages (which invalidates any SSD copies). Ascending
         // page order, not `HashMap` order: replacement stamps and fault-plan

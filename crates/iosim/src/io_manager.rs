@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::array::StripedArray;
 use crate::clock::{Clk, Time};
+use crate::crashsched::{BoundaryKind, CrashSwitch, WriteFate};
 use crate::device::{DeviceProfile, IoKind, Locality, SimDevice};
 use crate::fault::{self, FaultDevice, FaultPlan, IoError, IoErrorKind};
 use crate::health::{FailSlowConfig, FailSlowDetector, FailSlowStats};
@@ -118,6 +119,9 @@ pub struct IoManager {
     disk_health: FailSlowDetector,
     /// Fail-slow detector for the SSD, fed by every SSD request.
     ssd_health: FailSlowDetector,
+    /// Crash-schedule switch, if attached: numbers every durable-write
+    /// boundary and can kill power at an exact one (see [`CrashSwitch`]).
+    crash_switch: RwLock<Option<Arc<CrashSwitch>>>,
 }
 
 impl IoManager {
@@ -152,7 +156,43 @@ impl IoManager {
                 &setup.ssd_profile,
                 FailSlowConfig::default(),
             ),
+            crash_switch: RwLock::new(None),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash scheduling
+    // ------------------------------------------------------------------
+
+    /// Attach (or detach, with `None`) a crash-schedule switch. Every
+    /// subsequent durable write consults it; once it fires, all I/O on all
+    /// devices fails `DeviceDead` until the switch is detached (power is
+    /// restored by the next incarnation removing or replacing it).
+    pub fn set_crash_switch(&self, sw: Option<Arc<CrashSwitch>>) {
+        *self.crash_switch.write() = sw;
+    }
+
+    /// The currently attached crash switch, if any.
+    pub fn crash_switch(&self) -> Option<Arc<CrashSwitch>> {
+        self.crash_switch.read().clone()
+    }
+
+    /// Is a fired crash switch attached — i.e. has simulated power been
+    /// lost? While true, every device rejects every request.
+    pub fn power_lost(&self) -> bool {
+        self.crash_switch.read().as_ref().is_some_and(|s| s.fired())
+    }
+
+    /// Consult the crash switch for one durable-write boundary of `kind`.
+    fn boundary_fate(&self, kind: BoundaryKind) -> WriteFate {
+        match self.crash_switch.read().as_ref() {
+            Some(sw) => sw.on_write(kind),
+            None => WriteFate::Persist,
+        }
+    }
+
+    fn power_err(device: FaultDevice, at: Time) -> IoError {
+        IoError::new(device, IoErrorKind::DeviceDead, at)
     }
 
     // ------------------------------------------------------------------
@@ -287,6 +327,9 @@ impl IoManager {
         buf: &mut [u8],
         hint: Locality,
     ) -> Result<(), IoError> {
+        if self.power_lost() {
+            return Err(Self::power_err(FaultDevice::Disk, clk.now));
+        }
         let extra = self.gate_read(FaultDevice::Disk, clk.now)?;
         let scale = self.service_scale(FaultDevice::Disk, clk.now);
         let depth = self.disk.queue_depth(clk.now);
@@ -316,6 +359,9 @@ impl IoManager {
         hint: Locality,
     ) -> Result<Vec<PageBuf>, IoError> {
         let _ = hint; // adjacency is auto-detected per member span
+        if self.power_lost() {
+            return Err(Self::power_err(FaultDevice::Disk, clk.now));
+        }
         let extra = self.gate_read(FaultDevice::Disk, clk.now)?;
         let scale = self.service_scale(FaultDevice::Disk, clk.now);
         let depth = self.disk.queue_depth(clk.now);
@@ -344,6 +390,16 @@ impl IoManager {
         data: &[u8],
         hint: Locality,
     ) -> Result<Time, IoError> {
+        match self.boundary_fate(BoundaryKind::DiskPage) {
+            WriteFate::Persist => {}
+            // A torn page write persists nothing in this model (pages are
+            // the disk's atomicity unit only when the write completes), so
+            // torn and dropped coincide: the stored image is stale.
+            WriteFate::Torn | WriteFate::Dropped => {
+                self.mark_lost_write(pid);
+                return Err(Self::power_err(FaultDevice::Disk, now));
+            }
+        }
         let extra = match self.gate_write(FaultDevice::Disk, now) {
             Ok(extra) => extra,
             Err(e) => {
@@ -391,6 +447,31 @@ impl IoManager {
         pages: &[&[u8]],
     ) -> Result<Time, IoError> {
         assert!(!pages.is_empty());
+        if self.crash_switch.read().is_some() {
+            // One boundary per page: a crash can land inside the run. The
+            // prefix that persisted before the cut is written; the cut page
+            // and the rest never reached the platters.
+            let mut keep = pages.len();
+            for i in 0..pages.len() {
+                match self.boundary_fate(BoundaryKind::DiskPage) {
+                    WriteFate::Persist => {}
+                    WriteFate::Torn | WriteFate::Dropped => {
+                        keep = i;
+                        break;
+                    }
+                }
+            }
+            if keep < pages.len() {
+                for (i, data) in pages.iter().take(keep).enumerate() {
+                    self.disk_store.write(first.offset(i as u64), data);
+                    self.clear_lost_write(first.offset(i as u64));
+                }
+                for i in keep..pages.len() {
+                    self.mark_lost_write(first.offset(i as u64));
+                }
+                return Err(Self::power_err(FaultDevice::Disk, now));
+            }
+        }
         let extra = match self.gate_write(FaultDevice::Disk, now) {
             Ok(extra) => extra,
             Err(e) => {
@@ -434,6 +515,14 @@ impl IoManager {
             ));
         }
         Ok(done)
+    }
+
+    /// Record that the most recent durable write of `pid` never reached the
+    /// disk and was abandoned (no further retries planned). Used by salvage
+    /// paths that give up on a permanently failing device: the page must
+    /// fail loudly on its next read rather than serve a stale image.
+    pub fn note_lost_write(&self, pid: PageId) {
+        self.mark_lost_write(pid);
     }
 
     fn mark_lost_write(&self, pid: PageId) {
@@ -485,6 +574,9 @@ impl IoManager {
     /// silently corrupted bytes. The frame contents (possibly damaged) are
     /// still in `buf` for forensics; callers must not use them as page data.
     pub fn read_ssd(&self, clk: &mut Clk, frame: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        if self.power_lost() {
+            return Err(Self::power_err(FaultDevice::Ssd, clk.now));
+        }
         let extra = self.gate_read(FaultDevice::Ssd, clk.now)?;
         let scale = self.service_scale(FaultDevice::Ssd, clk.now);
         let depth = self.ssd_dev.queue_depth(clk.now);
@@ -529,6 +621,29 @@ impl IoManager {
         data: &[u8],
         tag: PageId,
     ) -> Result<Time, IoError> {
+        match self.boundary_fate(BoundaryKind::SsdFrame) {
+            WriteFate::Persist => {}
+            WriteFate::Torn => {
+                // Power died mid-frame: a deterministic half-frame prefix
+                // of the new bytes lands over the old tail, while the
+                // intent records (tag + checksum of the full new bytes)
+                // are updated — so the next read of this frame reports
+                // `ChecksumMismatch` instead of serving the hybrid.
+                let keep = (self.page_size / 2).max(1).min(data.len());
+                let mut merged = vec![0u8; self.page_size];
+                self.ssd_store.read(PageId(frame), &mut merged);
+                merged[..keep].copy_from_slice(&data[..keep]);
+                self.ssd_store.write(PageId(frame), &merged);
+                self.ssd_sums[frame as usize]
+                    .store(fault::checksum(data), std::sync::atomic::Ordering::Relaxed);
+                self.ssd_tags[frame as usize]
+                    .store(tag.0 + 1, std::sync::atomic::Ordering::Relaxed);
+                return Err(Self::power_err(FaultDevice::Ssd, now));
+            }
+            // Dropped: the old frame (tag, checksum, bytes) stays intact —
+            // frame-granularity atomicity for a write that never started.
+            WriteFate::Dropped => return Err(Self::power_err(FaultDevice::Ssd, now)),
+        }
         let extra = self.gate_write(FaultDevice::Ssd, now)?;
         let scale = self.service_scale(FaultDevice::Ssd, now);
         let depth = self.ssd_dev.queue_depth(now);
@@ -598,6 +713,16 @@ impl IoManager {
     /// time is charged per byte (amortized group commit — many commits
     /// share each physical log write, so a commit of a few hundred bytes
     /// does not pay for a whole page).
+    /// Consult the crash switch for one log group flush of `nbytes`.
+    /// `Persist` means the flush reaches the log device in full; `Torn`
+    /// means power died during the flush (the log manager persists all but
+    /// the final byte, leaving a clean torn tail for recovery to truncate);
+    /// `Dropped` means power was already off and nothing was written.
+    pub fn log_flush_fate(&self, nbytes: usize) -> WriteFate {
+        let _ = nbytes;
+        self.boundary_fate(BoundaryKind::LogFlush)
+    }
+
     pub fn append_log(&self, clk: &mut Clk, nbytes: usize) {
         let seq_ns = self.setup.log_profile.seq_write_ns;
         let service =

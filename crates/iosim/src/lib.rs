@@ -22,6 +22,7 @@
 
 pub mod array;
 pub mod clock;
+pub mod crashsched;
 pub mod device;
 pub mod fault;
 pub mod health;
@@ -35,6 +36,7 @@ pub mod sync;
 
 pub use array::StripedArray;
 pub use clock::{Clk, Time, HOUR, MICROSECOND, MILLISECOND, MINUTE, SECOND};
+pub use crashsched::{BoundaryCounts, BoundaryKind, CrashSwitch, WriteFate};
 pub use device::{DeviceProfile, IoKind, IoTicket, Locality, SimDevice};
 pub use fault::{
     BrownoutSpec, FaultConfig, FaultDevice, FaultPlan, FaultStats, IoError, IoErrorKind,

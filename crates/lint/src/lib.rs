@@ -558,8 +558,18 @@ fn scan_with(cfg: &Config, g: &Graph, rel: &Path, p: &Prepared) -> Vec<Finding> 
         || rel_str.starts_with("crates/bufpool/src")
     {
         rule_panic(p, rel, &mut out);
-        rule_io_error(p, rel, &mut out);
         rule_magic_threshold(p, rel, &mut out);
+    }
+    // L6 additionally covers the recovery stack: the WAL and engine crates
+    // carry `Result<_, IoError>` from redo/salvage/import paths, where a
+    // swallowed error silently downgrades crash-safety.
+    if is_fixture
+        || rel_str.starts_with("crates/core/src")
+        || rel_str.starts_with("crates/bufpool/src")
+        || rel_str.starts_with("crates/wal/src")
+        || rel_str.starts_with("crates/engine/src")
+    {
+        rule_io_error(p, rel, &mut out);
     }
     rule_lock_order(cfg, p, rel, &mut out);
     rule_design_match(p, rel, &mut out);
@@ -1687,6 +1697,21 @@ mod tests {
         assert!(scan("crates/core/src/x.rs", multiline)
             .iter()
             .any(|f| f.rule == Rule::IoError));
+    }
+
+    #[test]
+    fn io_error_rule_covers_recovery_stack() {
+        // L6 extends to the WAL and engine crates (recovery/salvage paths)…
+        let unwrap = "fn f(&self) { self.io.read_ssd(c, fr, buf).unwrap(); }\n";
+        for rel in ["crates/wal/src/x.rs", "crates/engine/src/x.rs"] {
+            let f = scan(rel, unwrap);
+            assert!(f.iter().any(|x| x.rule == Rule::IoError), "{rel}: {f:?}");
+        }
+        // …but L2 (panic) stays scoped to core/bufpool: recovery code may
+        // assert invariants, it just may not swallow storage errors.
+        let plain = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(scan("crates/wal/src/x.rs", plain).is_empty());
+        assert!(scan("crates/engine/src/x.rs", plain).is_empty());
     }
 
     #[test]

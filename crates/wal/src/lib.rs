@@ -19,9 +19,11 @@ pub mod log;
 pub mod record;
 pub mod recovery;
 
-pub use log::{LogManager, Lsn};
-pub use record::LogRecord;
-pub use recovery::{recover, salvage, RecoveryStats};
+pub use log::{DurableLog, LogManager, Lsn};
+pub use record::{DecodeError, DecodeOutcome, LogRecord, LogTail};
+pub use recovery::{
+    recover, salvage, DirectStore, LogScanReport, RecoveryOutcome, RecoveryStats, RedoStore,
+};
 
 /// Transaction identifier.
 pub type TxId = u64;

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use turbopool_iosim::sync::Mutex;
-use turbopool_iosim::{Clk, IoManager};
+use turbopool_iosim::{Clk, IoManager, WriteFate};
 
 use crate::record::LogRecord;
 
@@ -52,19 +52,39 @@ impl LogManager {
     }
 
     /// Flush everything appended so far, charging sequential log-device time
-    /// to `clk`.
-    pub fn flush(&self, clk: &mut Clk) {
-        let nbytes = {
+    /// to `clk`. Returns true when every pending byte reached the device.
+    ///
+    /// Under an armed crash switch a flush is a durable-write boundary: it
+    /// may be torn (power died mid-flush — all but the final byte persists,
+    /// so the chunk's last record decodes as an incomplete torn tail) or
+    /// dropped (power already off — nothing persists). Either way the
+    /// machine is dead; callers must treat `false` as "this commit (or
+    /// checkpoint) did not happen".
+    pub fn flush(&self, clk: &mut Clk) -> bool {
+        let (nbytes, complete) = {
             let mut st = self.state.lock();
             if st.pending.is_empty() {
-                return;
+                return true;
             }
             let pending = std::mem::take(&mut st.pending);
-            let n = pending.len();
-            st.durable.extend_from_slice(&pending);
-            n
+            match self.io.log_flush_fate(pending.len()) {
+                WriteFate::Persist => {
+                    let n = pending.len();
+                    st.durable.extend_from_slice(&pending);
+                    (n, true)
+                }
+                WriteFate::Torn => {
+                    let keep = pending.len() - 1;
+                    st.durable.extend_from_slice(&pending[..keep]);
+                    (keep, false)
+                }
+                WriteFate::Dropped => (0, false),
+            }
         };
-        self.io.append_log(clk, nbytes);
+        if nbytes > 0 {
+            self.io.append_log(clk, nbytes);
+        }
+        complete
     }
 
     /// LSN up to which the log is durable.
@@ -97,7 +117,23 @@ impl LogManager {
         }
         self.append(&LogRecord::Checkpoint);
         keep += LogRecord::Checkpoint.encoded_len();
-        self.flush(clk);
+        if !self.flush(clk) {
+            // Power died before the checkpoint record was durable: the
+            // pre-checkpoint log is still the only redo source and must
+            // not be truncated. (The machine is off; recovery will replay
+            // from the previous checkpoint.)
+            return;
+        }
+        if self.io.power_lost() {
+            // The checkpoint record itself was the last write to persist
+            // (crash-schedule cut landed on the flush): the machine is off,
+            // and truncation — a separate durable mutation of the log file —
+            // can no longer happen. Harmless either way (the sharp-checkpoint
+            // contract flushed every dirty page before this flush, so redo
+            // from the longer log converges to the same state), but the
+            // model should not pretend a powered-off machine rewrote a file.
+            return;
+        }
         let mut st = self.state.lock();
         let cut = st.durable.len() - keep;
         st.durable.drain(..cut);
@@ -108,6 +144,18 @@ impl LogManager {
     /// from the log device after a crash (unflushed bytes are gone).
     pub fn durable_snapshot(&self) -> Vec<u8> {
         self.state.lock().durable.clone()
+    }
+
+    /// Fault-injection hook: XOR `mask` into durable byte `byte`, modeling
+    /// media corruption of the log file at rest. Returns false (no-op) when
+    /// the offset is out of range or the mask is zero.
+    pub fn corrupt_durable(&self, byte: usize, mask: u8) -> bool {
+        let mut st = self.state.lock();
+        if mask == 0 || byte >= st.durable.len() {
+            return false;
+        }
+        st.durable[byte] ^= mask;
+        true
     }
 
     /// A handle that shares this log's durable state: after a simulated
@@ -140,6 +188,18 @@ impl DurableLog {
     /// The durable bytes, for recovery scanning.
     pub fn bytes(&self) -> Vec<u8> {
         self.state.lock().durable.clone()
+    }
+
+    /// Log repair after a successful recovery: discard everything past the
+    /// last cleanly decoded byte (`valid_len` from the recovery scan), so
+    /// that the next incarnation's appends land directly after the last
+    /// usable record instead of hiding behind a torn or corrupt region.
+    /// Idempotent; a no-op when the log is already clean.
+    pub fn truncate_to_valid(&self, valid_len: usize) {
+        let mut st = self.state.lock();
+        if valid_len < st.durable.len() {
+            st.durable.truncate(valid_len);
+        }
     }
 }
 
@@ -185,8 +245,9 @@ mod tests {
         let handle = log.durable_handle();
         drop(log);
         let reopened = handle.reopen(io);
-        let recs = crate::record::decode_all(&reopened.durable_snapshot());
-        assert_eq!(recs, vec![LogRecord::Commit { txid: 1 }]);
+        let out = crate::record::decode_all(&reopened.durable_snapshot());
+        assert_eq!(out.records, vec![LogRecord::Commit { txid: 1 }]);
+        assert!(!out.tail.is_damaged());
     }
 
     #[test]
@@ -206,10 +267,76 @@ mod tests {
         let before = log.durable_len();
         log.checkpoint(&mut clk);
         assert!(log.durable_len() < before);
-        let recs = crate::record::decode_all(&log.durable_snapshot());
-        assert_eq!(recs, vec![LogRecord::Checkpoint]);
+        let out = crate::record::decode_all(&log.durable_snapshot());
+        assert_eq!(out.records, vec![LogRecord::Checkpoint]);
         // LSNs keep increasing across truncation.
         let lsn = log.append(&LogRecord::Commit { txid: 999 });
         assert!(lsn > before as Lsn);
+    }
+
+    #[test]
+    fn torn_flush_leaves_a_clean_torn_tail() {
+        use turbopool_iosim::CrashSwitch;
+        let (io, log) = mgr();
+        let mut clk = Clk::new();
+        log.append(&LogRecord::Commit { txid: 1 });
+        assert!(log.flush(&mut clk));
+        // Arm the switch to tear the next log flush (boundary 0).
+        io.set_crash_switch(Some(Arc::new(CrashSwitch::armed(0, true))));
+        log.append(&LogRecord::PageWrite {
+            txid: 2,
+            pid: PageId(3),
+            offset: 0,
+            data: vec![7; 8],
+        });
+        log.append(&LogRecord::Commit { txid: 2 });
+        assert!(!log.flush(&mut clk), "torn flush must report incomplete");
+        io.set_crash_switch(None);
+        let out = crate::record::decode_all(&log.durable_snapshot());
+        // The final record (txn 2's commit) lost its last byte: txn 2 did
+        // not commit, and the damage reads as a torn tail, not corruption.
+        assert_eq!(out.records.len(), 2, "commit{{1}} + pagewrite{{2}}");
+        assert!(matches!(out.tail, crate::record::LogTail::Torn { .. }));
+    }
+
+    #[test]
+    fn dropped_flush_persists_nothing() {
+        use turbopool_iosim::CrashSwitch;
+        let (io, log) = mgr();
+        let mut clk = Clk::new();
+        // Fire at boundary 0 (a disk write, say); flushes after that drop.
+        let sw = Arc::new(CrashSwitch::armed(0, false));
+        io.set_crash_switch(Some(Arc::clone(&sw)));
+        sw.on_write(turbopool_iosim::BoundaryKind::DiskPage);
+        assert!(sw.fired());
+        log.append(&LogRecord::Commit { txid: 5 });
+        assert!(!log.flush(&mut clk));
+        io.set_crash_switch(None);
+        assert_eq!(log.durable_len(), 0);
+        assert_eq!(io.log_stats().write_ops, 0);
+    }
+
+    #[test]
+    fn corrupt_then_truncate_repairs_the_log() {
+        let (_io, log) = mgr();
+        let mut clk = Clk::new();
+        log.append(&LogRecord::Commit { txid: 1 });
+        log.flush(&mut clk);
+        let clean_len = log.durable_len();
+        log.append(&LogRecord::Commit { txid: 2 });
+        log.flush(&mut clk);
+        assert!(log.corrupt_durable(clean_len + 2, 0x10));
+        let out = crate::record::decode_all(&log.durable_snapshot());
+        assert_eq!(out.records, vec![LogRecord::Commit { txid: 1 }]);
+        assert!(out.tail.is_damaged());
+        assert_eq!(out.valid_len, clean_len);
+        // Repair: drop the damaged region; the log decodes clean again.
+        log.durable_handle().truncate_to_valid(out.valid_len);
+        let out = crate::record::decode_all(&log.durable_snapshot());
+        assert_eq!(out.records, vec![LogRecord::Commit { txid: 1 }]);
+        assert!(!out.tail.is_damaged());
+        // Out-of-range / zero-mask corruption requests are no-ops.
+        assert!(!log.corrupt_durable(10_000, 0x01));
+        assert!(!log.corrupt_durable(0, 0));
     }
 }

@@ -1,6 +1,13 @@
 //! Log record types and their binary encoding.
+//!
+//! Every record is framed as `body ++ fnv1a64(body)`: an 8-byte checksum
+//! trailer over the record's own bytes. The trailer is what lets a
+//! recovery scan tell a *torn tail* (the stream ends inside a record —
+//! the crash interrupted the last log flush; truncate and proceed) from
+//! *mid-log corruption* (the bytes are all there but the checksum does
+//! not match — damaged media; stop and report loudly).
 
-use turbopool_iosim::PageId;
+use turbopool_iosim::{fault, PageId};
 
 use crate::TxId;
 
@@ -37,9 +44,61 @@ const TAG_COMMIT: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
 const TAG_SSD_TABLE: u8 = 4;
 
+/// Bytes of the per-record FNV-1a-64 checksum trailer.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Why a record could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends inside the record: a torn tail after a crash.
+    Incomplete,
+    /// The bytes are structurally complete but wrong: unknown tag or
+    /// checksum mismatch. The log is damaged at this point.
+    Corrupt,
+}
+
+/// How a full-log scan ended. Offsets are byte positions into the scanned
+/// buffer — everything before the offset decoded cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogTail {
+    /// Every byte decoded: the log ends exactly on a record boundary.
+    Clean,
+    /// The stream ends inside a record at `at` — the torn tail of an
+    /// interrupted flush. Safe to truncate at `at` and proceed.
+    Torn { at: usize },
+    /// Undecodable bytes at `at` with more bytes following: mid-log
+    /// corruption. Records beyond `at` are unreachable (the stream has no
+    /// out-of-band framing to resynchronize on) and recovery must report
+    /// the damage instead of silently proceeding.
+    Corrupt { at: usize },
+}
+
+impl LogTail {
+    /// True when the scan needs to be surfaced to an operator: some bytes
+    /// in the durable log could not be used.
+    pub fn is_damaged(&self) -> bool {
+        !matches!(self, LogTail::Clean)
+    }
+}
+
+/// Result of scanning a byte stream for records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// Records decoded, in stream order, up to the end/torn/corrupt point.
+    pub records: Vec<LogRecord>,
+    /// How the scan ended.
+    pub tail: LogTail,
+    /// Bytes consumed by cleanly decoded records: the prefix of the buffer
+    /// that is trustworthy (equals the tail offset for `Torn`/`Corrupt`,
+    /// the buffer length for `Clean`).
+    pub valid_len: usize,
+}
+
 impl LogRecord {
-    /// Append the binary encoding of this record to `out`.
+    /// Append the binary encoding of this record (body + checksum trailer)
+    /// to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
         match self {
             LogRecord::PageWrite {
                 txid,
@@ -68,61 +127,77 @@ impl LogRecord {
                 }
             }
         }
+        let sum = fault::checksum(&out[start..]);
+        out.extend_from_slice(&sum.to_le_bytes());
     }
 
-    /// Size of the binary encoding, in bytes.
+    /// Size of the binary encoding (including the checksum trailer).
     pub fn encoded_len(&self) -> usize {
-        match self {
+        let body = match self {
             LogRecord::PageWrite { data, .. } => 1 + 8 + 8 + 4 + 4 + data.len(),
             LogRecord::Commit { .. } => 1 + 8,
             LogRecord::Checkpoint => 1,
             LogRecord::SsdTable { entries } => 1 + 4 + 16 * entries.len(),
-        }
+        };
+        body + CHECKSUM_LEN
     }
 
     /// Decode one record from the front of `buf`, returning the record and
-    /// the number of bytes consumed, or `None` if `buf` holds an incomplete
-    /// record (a torn tail after a crash — recovery stops there).
-    pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
-        let (&tag, rest) = buf.split_first()?;
+    /// the number of bytes consumed (body + trailer).
+    pub fn decode(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
+        let (body_len, rec) = Self::decode_body(buf)?;
+        let total = body_len + CHECKSUM_LEN;
+        if buf.len() < total {
+            return Err(DecodeError::Incomplete);
+        }
+        let stored = u64::from_le_bytes(buf[body_len..total].try_into().unwrap());
+        if fault::checksum(&buf[..body_len]) != stored {
+            return Err(DecodeError::Corrupt);
+        }
+        Ok((rec, total))
+    }
+
+    /// Decode the record body, returning `(body_len, record)`.
+    fn decode_body(buf: &[u8]) -> Result<(usize, LogRecord), DecodeError> {
+        let (&tag, rest) = buf.split_first().ok_or(DecodeError::Incomplete)?;
         match tag {
             TAG_PAGE_WRITE => {
                 if rest.len() < 24 {
-                    return None;
+                    return Err(DecodeError::Incomplete);
                 }
                 let txid = u64::from_le_bytes(rest[0..8].try_into().unwrap());
                 let pid = u64::from_le_bytes(rest[8..16].try_into().unwrap());
                 let offset = u32::from_le_bytes(rest[16..20].try_into().unwrap());
                 let len = u32::from_le_bytes(rest[20..24].try_into().unwrap()) as usize;
                 if rest.len() < 24 + len {
-                    return None;
+                    return Err(DecodeError::Incomplete);
                 }
                 let data = rest[24..24 + len].to_vec();
-                Some((
+                Ok((
+                    1 + 24 + len,
                     LogRecord::PageWrite {
                         txid,
                         pid: PageId(pid),
                         offset,
                         data,
                     },
-                    1 + 24 + len,
                 ))
             }
             TAG_COMMIT => {
                 if rest.len() < 8 {
-                    return None;
+                    return Err(DecodeError::Incomplete);
                 }
                 let txid = u64::from_le_bytes(rest[0..8].try_into().unwrap());
-                Some((LogRecord::Commit { txid }, 9))
+                Ok((9, LogRecord::Commit { txid }))
             }
-            TAG_CHECKPOINT => Some((LogRecord::Checkpoint, 1)),
+            TAG_CHECKPOINT => Ok((1, LogRecord::Checkpoint)),
             TAG_SSD_TABLE => {
                 if rest.len() < 4 {
-                    return None;
+                    return Err(DecodeError::Incomplete);
                 }
                 let n = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
                 if rest.len() < 4 + 16 * n {
-                    return None;
+                    return Err(DecodeError::Incomplete);
                 }
                 let mut entries = Vec::with_capacity(n);
                 for i in 0..n {
@@ -132,28 +207,45 @@ impl LogRecord {
                         u64::from_le_bytes(rest[off + 8..off + 16].try_into().unwrap()),
                     ));
                 }
-                Some((LogRecord::SsdTable { entries }, 1 + 4 + 16 * n))
+                Ok((1 + 4 + 16 * n, LogRecord::SsdTable { entries }))
             }
-            _ => None, // corrupt byte: treat as end of usable log
+            _ => Err(DecodeError::Corrupt),
         }
     }
 }
 
-/// Iterate over the records encoded in `buf`, stopping at the first
-/// incomplete or corrupt record.
-pub fn decode_all(buf: &[u8]) -> Vec<LogRecord> {
-    let mut out = Vec::new();
+/// Scan `buf` for records, classifying how the stream ends (clean record
+/// boundary, torn tail, or mid-log corruption).
+pub fn decode_all(buf: &[u8]) -> DecodeOutcome {
+    let mut records = Vec::new();
     let mut pos = 0;
     while pos < buf.len() {
         match LogRecord::decode(&buf[pos..]) {
-            Some((rec, used)) => {
-                out.push(rec);
+            Ok((rec, used)) => {
+                records.push(rec);
                 pos += used;
             }
-            None => break,
+            Err(DecodeError::Incomplete) => {
+                return DecodeOutcome {
+                    records,
+                    tail: LogTail::Torn { at: pos },
+                    valid_len: pos,
+                };
+            }
+            Err(DecodeError::Corrupt) => {
+                return DecodeOutcome {
+                    records,
+                    tail: LogTail::Corrupt { at: pos },
+                    valid_len: pos,
+                };
+            }
         }
     }
-    out
+    DecodeOutcome {
+        records,
+        tail: LogTail::Clean,
+        valid_len: pos,
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +287,7 @@ mod tests {
     fn decode_all_stops_at_torn_tail() {
         let mut buf = Vec::new();
         LogRecord::Commit { txid: 1 }.encode(&mut buf);
+        let first_len = buf.len();
         LogRecord::PageWrite {
             txid: 2,
             pid: PageId(3),
@@ -204,13 +297,71 @@ mod tests {
         .encode(&mut buf);
         // Tear the last record in half.
         buf.truncate(buf.len() - 50);
-        let recs = decode_all(&buf);
-        assert_eq!(recs, vec![LogRecord::Commit { txid: 1 }]);
+        let out = decode_all(&buf);
+        assert_eq!(out.records, vec![LogRecord::Commit { txid: 1 }]);
+        assert_eq!(out.tail, LogTail::Torn { at: first_len });
+        assert_eq!(out.valid_len, first_len);
+    }
+
+    #[test]
+    fn missing_trailer_alone_is_a_torn_tail() {
+        // The body is complete but the checksum trailer is cut short: still
+        // classified torn, not corrupt (the flush lost its suffix).
+        let mut buf = Vec::new();
+        LogRecord::Commit { txid: 5 }.encode(&mut buf);
+        buf.truncate(buf.len() - 3);
+        assert_eq!(LogRecord::decode(&buf), Err(DecodeError::Incomplete));
+        assert_eq!(decode_all(&buf).tail, LogTail::Torn { at: 0 });
     }
 
     #[test]
     fn decode_rejects_unknown_tag() {
-        assert!(LogRecord::decode(&[0xFF, 1, 2, 3]).is_none());
+        assert_eq!(
+            LogRecord::decode(&[0xFF, 1, 2, 3]),
+            Err(DecodeError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_caught() {
+        let mut clean = Vec::new();
+        LogRecord::PageWrite {
+            txid: 9,
+            pid: PageId(4),
+            offset: 16,
+            data: vec![0xAA; 40],
+        }
+        .encode(&mut clean);
+        LogRecord::Commit { txid: 9 }.encode(&mut clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut damaged = clean.clone();
+                damaged[byte] ^= 1 << bit;
+                let out = decode_all(&damaged);
+                // A flip must never be absorbed silently: either the scan
+                // reports damage, or (flipping a length field downward) the
+                // shortened record fails its checksum and reports damage.
+                assert!(
+                    out.tail.is_damaged(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_before_valid_records_hides_them() {
+        // Records after a corrupt region are unreachable: the scan reports
+        // Corrupt with following bytes present.
+        let mut buf = Vec::new();
+        LogRecord::Commit { txid: 1 }.encode(&mut buf);
+        let cut = buf.len();
+        LogRecord::Commit { txid: 2 }.encode(&mut buf);
+        buf[2] ^= 0x10; // damage the first record's txid
+        let out = decode_all(&buf);
+        assert!(out.records.is_empty());
+        assert_eq!(out.tail, LogTail::Corrupt { at: 0 });
+        let _ = cut;
     }
 
     #[test]
@@ -226,8 +377,10 @@ mod tests {
             .encode(&mut buf);
         }
         LogRecord::Checkpoint.encode(&mut buf);
-        let recs = decode_all(&buf);
-        assert_eq!(recs.len(), 11);
-        assert_eq!(recs[10], LogRecord::Checkpoint);
+        let out = decode_all(&buf);
+        assert_eq!(out.records.len(), 11);
+        assert_eq!(out.records[10], LogRecord::Checkpoint);
+        assert_eq!(out.tail, LogTail::Clean);
+        assert_eq!(out.valid_len, buf.len());
     }
 }

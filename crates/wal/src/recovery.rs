@@ -1,11 +1,48 @@
 //! Crash recovery: redo committed page writes after the last checkpoint.
+//!
+//! Recovery is fallible end to end: redo reads and writes go through a
+//! [`RedoStore`], whose engine-side implementation routes them through the
+//! simulated devices (with transient-error retry) instead of poking the
+//! backing bytes directly. A torn log tail is truncated and replay
+//! proceeds; mid-log corruption stops the scan at the damage point and is
+//! surfaced in the [`LogScanReport`] so the caller can fail loudly.
 
 use std::collections::HashSet;
 
-use turbopool_iosim::{PageId, PageStore};
+use turbopool_iosim::{IoError, PageId, PageStore};
 
-use crate::record::{decode_all, LogRecord};
+use crate::record::{decode_all, LogRecord, LogTail};
 use crate::TxId;
+
+/// Fallible page access for redo: the device-facing face of recovery.
+///
+/// Implementations decide how faults surface — the engine adapter retries
+/// transient errors with capped virtual-time backoff and propagates
+/// permanent ones; [`DirectStore`] (unit tests, timing-free replay) never
+/// fails.
+pub trait RedoStore {
+    fn page_size(&self) -> usize;
+    fn read(&mut self, pid: PageId, buf: &mut [u8]) -> Result<(), IoError>;
+    fn write(&mut self, pid: PageId, data: &[u8]) -> Result<(), IoError>;
+}
+
+/// Infallible [`RedoStore`] over raw backing bytes, bypassing devices and
+/// timing. For unit tests and callers that have already absorbed faults.
+pub struct DirectStore<'a>(pub &'a dyn PageStore);
+
+impl RedoStore for DirectStore<'_> {
+    fn page_size(&self) -> usize {
+        self.0.page_size()
+    }
+    fn read(&mut self, pid: PageId, buf: &mut [u8]) -> Result<(), IoError> {
+        self.0.read(pid, buf);
+        Ok(())
+    }
+    fn write(&mut self, pid: PageId, data: &[u8]) -> Result<(), IoError> {
+        self.0.write(pid, data);
+        Ok(())
+    }
+}
 
 /// Full result of a recovery pass.
 #[derive(Debug, Default, Clone)]
@@ -15,8 +52,44 @@ pub struct RecoveryOutcome {
     /// Pages whose disk image advanced during redo: their pre-crash SSD
     /// copies are stale and must not be warm-imported.
     pub redone: HashSet<PageId>,
-    /// The SSD buffer table embedded in the last checkpoint, if any.
+    /// The SSD buffer table embedded in the adopted checkpoint, if any.
     pub ssd_table: Option<Vec<(PageId, u64)>>,
+    /// What the log scan found: tail condition, checkpoint adoption.
+    pub report: LogScanReport,
+}
+
+/// How the durable-log scan went — the WAL half of a `RecoveryReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogScanReport {
+    /// How the record stream ended.
+    pub tail: LogTail,
+    /// Bytes of durable log presented to the scan.
+    pub log_bytes: usize,
+    /// Bytes of cleanly decoded records — the trustworthy prefix. The
+    /// caller should truncate the durable log to this length so future
+    /// appends land after the last usable record.
+    pub valid_len: usize,
+    /// Checkpoint records decoded.
+    pub checkpoints_seen: usize,
+    /// Checkpoints rejected because their embedded `SsdTable` failed
+    /// validation; the scan fell back to the previous complete checkpoint.
+    pub checkpoints_rejected: usize,
+    /// True when a (validated) checkpoint anchored replay; false means
+    /// replay covered the whole retained log.
+    pub used_checkpoint: bool,
+}
+
+impl Default for LogScanReport {
+    fn default() -> Self {
+        LogScanReport {
+            tail: LogTail::Clean,
+            log_bytes: 0,
+            valid_len: 0,
+            checkpoints_seen: 0,
+            checkpoints_rejected: 0,
+            used_checkpoint: false,
+        }
+    }
 }
 
 /// Outcome counters from a recovery pass.
@@ -32,9 +105,67 @@ pub struct RecoveryStats {
     pub writes_skipped: usize,
 }
 
+/// Semantic validation of an embedded SSD buffer table: every frame in
+/// range (when the geometry is known), no page listed twice, no frame
+/// listed twice. A table that fails this check is garbage — adopting it
+/// would seed the warm restart with lies — so its checkpoint is rejected.
+fn table_valid(entries: &[(u64, u64)], ssd_frames: Option<u64>) -> bool {
+    let mut pids: HashSet<u64> = HashSet::with_capacity(entries.len());
+    let mut frames: HashSet<u64> = HashSet::with_capacity(entries.len());
+    for &(pid, frame) in entries {
+        if let Some(n) = ssd_frames {
+            if frame >= n {
+                return false;
+            }
+        }
+        if !pids.insert(pid) || !frames.insert(frame) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Scan `records` for the replay anchor: the last checkpoint whose
+/// embedded `SsdTable` (if any) validates. Returns
+/// `(start_index, ssd_table, checkpoints_seen, checkpoints_rejected)`.
+fn find_anchor(
+    records: &[LogRecord],
+    ssd_frames: Option<u64>,
+) -> (usize, Option<Vec<(PageId, u64)>>, usize, usize) {
+    let ckpts: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| matches!(r, LogRecord::Checkpoint).then_some(i))
+        .collect();
+    let seen = ckpts.len();
+    let mut rejected = 0usize;
+    for &i in ckpts.iter().rev() {
+        // Only a table directly attached to this checkpoint counts: scan
+        // back to the previous checkpoint (or the stream start).
+        let table = records[..i].iter().rev().find_map(|r| match r {
+            LogRecord::SsdTable { entries } => Some(entries),
+            LogRecord::Checkpoint => None,
+            _ => None,
+        });
+        match table {
+            Some(entries) if !table_valid(entries, ssd_frames) => {
+                // Reject this checkpoint and fall back to the previous
+                // complete one instead of adopting a garbage table.
+                rejected += 1;
+            }
+            Some(entries) => {
+                let t = entries.iter().map(|&(p, f)| (PageId(p), f)).collect();
+                return (i + 1, Some(t), seen, rejected);
+            }
+            None => return (i + 1, None, seen, rejected),
+        }
+    }
+    (0, None, seen, rejected)
+}
+
 /// Replay the durable log onto the persistent database.
 ///
-/// Two passes over the suffix that follows the last checkpoint record:
+/// Two passes over the suffix that follows the adopted checkpoint record:
 /// first collect the set of committed transactions, then apply their
 /// `PageWrite` after-images to `db` in log order. Writes of transactions
 /// without a commit record are losers (the crash interrupted their commit
@@ -42,36 +173,38 @@ pub struct RecoveryStats {
 /// because commit-time publication means no page they touched was ever
 /// dirtied in the buffer pool.
 ///
+/// `ssd_frames` is the SSD geometry for validating embedded buffer tables
+/// (`None` skips the range check). A checkpoint whose table fails
+/// validation is rejected and the scan falls back to the previous complete
+/// checkpoint; replaying a longer suffix is always safe because redo is
+/// idempotent.
+///
 /// The SSD is deliberately *not* consulted: as in the paper (§6), no design
 /// uses SSD contents at restart, so recovery sees only the disk image plus
 /// the log. Under LC this is safe because every sharp checkpoint flushed all
 /// SSD-dirty pages before writing its checkpoint record, and post-checkpoint
 /// committed writes are all in the log suffix being replayed.
-pub fn recover(log_bytes: &[u8], db: &dyn PageStore) -> RecoveryOutcome {
-    let records = decode_all(log_bytes);
-    // Start after the *last* checkpoint (the log manager truncates, but a
-    // crash can land between two checkpoints of an untruncated stream).
-    let start = records
-        .iter()
-        .rposition(|r| matches!(r, LogRecord::Checkpoint))
-        .map(|i| i + 1)
-        .unwrap_or(0);
-    // The warm-restart table, if one was embedded in that checkpoint.
-    let ssd_table = (start > 0)
-        .then(|| {
-            records[..start - 1].iter().rev().find_map(|r| match r {
-                LogRecord::SsdTable { entries } => Some(
-                    entries
-                        .iter()
-                        .map(|&(p, f)| (PageId(p), f))
-                        .collect::<Vec<_>>(),
-                ),
-                // Only a table directly attached to this checkpoint counts.
-                LogRecord::Checkpoint => None,
-                _ => None,
-            })
-        })
-        .flatten();
+///
+/// `Err` means a redo read or write failed permanently (after whatever
+/// retry the [`RedoStore`] applies): the disk image is part-redone but the
+/// log is untouched, so recovery can simply be run again — redo is
+/// idempotent and convergent.
+pub fn recover(
+    log_bytes: &[u8],
+    db: &mut dyn RedoStore,
+    ssd_frames: Option<u64>,
+) -> Result<RecoveryOutcome, IoError> {
+    let decoded = decode_all(log_bytes);
+    let records = decoded.records;
+    let (start, ssd_table, ckpts_seen, ckpts_rejected) = find_anchor(&records, ssd_frames);
+    let report = LogScanReport {
+        tail: decoded.tail,
+        log_bytes: log_bytes.len(),
+        valid_len: decoded.valid_len,
+        checkpoints_seen: ckpts_seen,
+        checkpoints_rejected: ckpts_rejected,
+        used_checkpoint: start > 0,
+    };
     let tail = &records[start..];
 
     let committed: HashSet<TxId> = tail
@@ -108,18 +241,19 @@ pub fn recover(log_bytes: &[u8], db: &dyn PageStore) -> RecoveryOutcome {
                 off + data.len() <= page_size,
                 "log record exceeds page bounds"
             );
-            db.read(*pid, &mut page_buf);
+            db.read(*pid, &mut page_buf)?;
             page_buf[off..off + data.len()].copy_from_slice(data);
-            db.write(*pid, &page_buf);
+            db.write(*pid, &page_buf)?;
             stats.writes_applied += 1;
             redone.insert(*pid);
         }
     }
-    RecoveryOutcome {
+    Ok(RecoveryOutcome {
         stats,
         redone,
         ssd_table,
-    }
+        report,
+    })
 }
 
 /// Targeted live redo: rebuild the committed content of `pids` onto `db`
@@ -136,17 +270,18 @@ pub fn recover(log_bytes: &[u8], db: &dyn PageStore) -> RecoveryOutcome {
 ///
 /// Replay is restricted to committed transactions and is idempotent (byte
 /// after-images applied in log order), so salvaging a page whose disk image
-/// was already current is harmless. Returns the distinct pages restored.
-pub fn salvage(log_bytes: &[u8], db: &dyn PageStore, pids: &HashSet<PageId>) -> usize {
+/// was already current is harmless. Returns the distinct pages restored;
+/// `Err` means the disk tier itself failed mid-salvage.
+pub fn salvage(
+    log_bytes: &[u8],
+    db: &mut dyn RedoStore,
+    pids: &HashSet<PageId>,
+) -> Result<usize, IoError> {
     if pids.is_empty() {
-        return 0;
+        return Ok(0);
     }
-    let records = decode_all(log_bytes);
-    let start = records
-        .iter()
-        .rposition(|r| matches!(r, LogRecord::Checkpoint))
-        .map(|i| i + 1)
-        .unwrap_or(0);
+    let records = decode_all(log_bytes).records;
+    let (start, _, _, _) = find_anchor(&records, None);
     let tail = &records[start..];
     let committed: HashSet<TxId> = tail
         .iter()
@@ -175,13 +310,13 @@ pub fn salvage(log_bytes: &[u8], db: &dyn PageStore, pids: &HashSet<PageId>) -> 
                 off + data.len() <= page_size,
                 "log record exceeds page bounds"
             );
-            db.read(*pid, &mut page_buf);
+            db.read(*pid, &mut page_buf)?;
             page_buf[off..off + data.len()].copy_from_slice(data);
-            db.write(*pid, &page_buf);
+            db.write(*pid, &page_buf)?;
             restored.insert(*pid);
         }
     }
-    restored.len()
+    Ok(restored.len())
 }
 
 #[cfg(test)]
@@ -195,6 +330,10 @@ mod tests {
             r.encode(&mut buf);
         }
         buf
+    }
+
+    fn run(log: &[u8], db: &MemStore) -> RecoveryOutcome {
+        recover(log, &mut DirectStore(db), None).unwrap()
     }
 
     #[test]
@@ -215,10 +354,12 @@ mod tests {
             },
             LogRecord::Commit { txid: 1 },
         ]);
-        let out = recover(&log, &db);
+        let out = run(&log, &db);
         assert_eq!(out.stats.writes_applied, 2);
         assert_eq!(out.stats.txns_redone, 1);
         assert!(out.redone.contains(&PageId(0)));
+        assert_eq!(out.report.tail, LogTail::Clean);
+        assert_eq!(out.report.valid_len, log.len());
         let mut buf = [0u8; 16];
         db.read(PageId(0), &mut buf);
         assert_eq!(&buf[..6], &[1, 1, 2, 2, 2, 2]);
@@ -236,7 +377,7 @@ mod tests {
             },
             // no Commit{7}
         ]);
-        let out = recover(&log, &db);
+        let out = run(&log, &db);
         assert_eq!(out.stats.writes_applied, 0);
         assert_eq!(out.stats.writes_skipped, 1);
         assert!(out.redone.is_empty());
@@ -265,9 +406,11 @@ mod tests {
             },
             LogRecord::Commit { txid: 2 },
         ]);
-        let out = recover(&log, &db);
+        let out = run(&log, &db);
         // Pre-checkpoint write is NOT replayed (it is on disk by contract).
         assert_eq!(out.stats.writes_applied, 1);
+        assert!(out.report.used_checkpoint);
+        assert_eq!(out.report.checkpoints_seen, 1);
         let mut buf = [0u8; 16];
         db.read(PageId(0), &mut buf);
         assert_eq!(buf, [0u8; 16]);
@@ -294,7 +437,7 @@ mod tests {
             LogRecord::Commit { txid: 2 },
             LogRecord::Commit { txid: 1 },
         ]);
-        recover(&log, &db);
+        run(&log, &db);
         // Log order decides: txn 2's write happened after txn 1's.
         let mut buf = [0u8; 8];
         db.read(PageId(0), &mut buf);
@@ -304,10 +447,11 @@ mod tests {
     #[test]
     fn empty_log_is_a_noop() {
         let db = MemStore::new(1, 8);
-        let out = recover(&[], &db);
+        let out = run(&[], &db);
         assert_eq!(out.stats, RecoveryStats::default());
         assert!(out.redone.is_empty());
         assert!(out.ssd_table.is_none());
+        assert_eq!(out.report, LogScanReport::default());
     }
 
     #[test]
@@ -324,8 +468,97 @@ mod tests {
             LogRecord::Checkpoint,
             LogRecord::Commit { txid: 9 },
         ]);
-        let out = recover(&log, &db);
+        let out = run(&log, &db);
         assert_eq!(out.ssd_table, Some(vec![(PageId(2), 20), (PageId(3), 21)]));
+        assert_eq!(out.report.checkpoints_seen, 2);
+        assert_eq!(out.report.checkpoints_rejected, 0);
+    }
+
+    #[test]
+    fn invalid_ssd_table_rejects_its_checkpoint() {
+        let db = MemStore::new(4, 16);
+        // First checkpoint: valid table. Second checkpoint: table with a
+        // duplicate frame — semantically garbage even though the record
+        // itself checksums fine. The scan must fall back to the first
+        // checkpoint and replay the longer suffix.
+        let log = encode(&[
+            LogRecord::SsdTable {
+                entries: vec![(1, 10)],
+            },
+            LogRecord::Checkpoint,
+            LogRecord::PageWrite {
+                txid: 3,
+                pid: PageId(1),
+                offset: 0,
+                data: vec![7; 4],
+            },
+            LogRecord::Commit { txid: 3 },
+            LogRecord::SsdTable {
+                entries: vec![(2, 20), (3, 20)], // duplicate frame 20
+            },
+            LogRecord::Checkpoint,
+        ]);
+        let out = run(&log, &db);
+        assert_eq!(out.report.checkpoints_rejected, 1);
+        assert_eq!(out.ssd_table, Some(vec![(PageId(1), 10)]));
+        // Replay anchored at the *first* checkpoint redoes txn 3.
+        assert_eq!(out.stats.writes_applied, 1);
+        let mut buf = [0u8; 16];
+        db.read(PageId(1), &mut buf);
+        assert_eq!(&buf[..4], &[7; 4]);
+    }
+
+    #[test]
+    fn out_of_range_frame_rejects_the_table() {
+        let db = MemStore::new(4, 8);
+        let log = encode(&[
+            LogRecord::SsdTable {
+                entries: vec![(1, 99)],
+            },
+            LogRecord::Checkpoint,
+        ]);
+        // With known geometry (16 frames), frame 99 is impossible.
+        let out = recover(&log, &mut DirectStore(&db), Some(16)).unwrap();
+        assert_eq!(out.report.checkpoints_rejected, 1);
+        assert!(out.ssd_table.is_none());
+        assert!(!out.report.used_checkpoint);
+        // Without geometry, the same table passes the range check.
+        let out = recover(&log, &mut DirectStore(&db), None).unwrap();
+        assert_eq!(out.report.checkpoints_rejected, 0);
+    }
+
+    #[test]
+    fn corrupt_mid_log_stops_at_damage_and_reports() {
+        let db = MemStore::new(4, 16);
+        let mut log = encode(&[
+            LogRecord::PageWrite {
+                txid: 1,
+                pid: PageId(0),
+                offset: 0,
+                data: vec![1; 4],
+            },
+            LogRecord::Commit { txid: 1 },
+        ]);
+        let first_two = log.len();
+        log.extend(encode(&[
+            LogRecord::PageWrite {
+                txid: 2,
+                pid: PageId(1),
+                offset: 0,
+                data: vec![2; 4],
+            },
+            LogRecord::Commit { txid: 2 },
+        ]));
+        // Flip a bit inside txn 2's page write.
+        log[first_two + 5] ^= 0x01;
+        let out = run(&log, &db);
+        assert_eq!(out.report.tail, LogTail::Corrupt { at: first_two });
+        assert_eq!(out.report.valid_len, first_two);
+        // Txn 1 was replayed; txn 2 is unreachable.
+        assert_eq!(out.stats.writes_applied, 1);
+        let mut buf = [0u8; 16];
+        db.read(PageId(1), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
     }
 
     #[test]
@@ -354,7 +587,7 @@ mod tests {
             LogRecord::Commit { txid: 2 },
         ]);
         let want: HashSet<PageId> = [PageId(0)].into_iter().collect();
-        assert_eq!(salvage(&log, &db, &want), 1);
+        assert_eq!(salvage(&log, &mut DirectStore(&db), &want).unwrap(), 1);
         let mut buf = [0u8; 16];
         db.read(PageId(0), &mut buf);
         assert_eq!(&buf[..4], &[1, 1, 2, 2], "both commits replayed in order");
@@ -372,8 +605,11 @@ mod tests {
             data: vec![9; 4],
         }]);
         let want: HashSet<PageId> = [PageId(0)].into_iter().collect();
-        assert_eq!(salvage(&log, &db, &want), 0);
-        assert_eq!(salvage(&log, &db, &HashSet::new()), 0);
+        assert_eq!(salvage(&log, &mut DirectStore(&db), &want).unwrap(), 0);
+        assert_eq!(
+            salvage(&log, &mut DirectStore(&db), &HashSet::new()).unwrap(),
+            0
+        );
         let mut buf = [0u8; 16];
         db.read(PageId(0), &mut buf);
         assert_eq!(buf, [0u8; 16]);
@@ -392,10 +628,10 @@ mod tests {
             LogRecord::Commit { txid: 1 },
         ]);
         let want: HashSet<PageId> = [PageId(1)].into_iter().collect();
-        assert_eq!(salvage(&log, &db, &want), 1);
+        assert_eq!(salvage(&log, &mut DirectStore(&db), &want).unwrap(), 1);
         let mut first = [0u8; 16];
         db.read(PageId(1), &mut first);
-        assert_eq!(salvage(&log, &db, &want), 1);
+        assert_eq!(salvage(&log, &mut DirectStore(&db), &want).unwrap(), 1);
         let mut second = [0u8; 16];
         db.read(PageId(1), &mut second);
         assert_eq!(first, second);
@@ -412,7 +648,70 @@ mod tests {
             },
             LogRecord::Checkpoint,
         ]);
-        let out = recover(&log, &db);
+        let out = run(&log, &db);
         assert_eq!(out.ssd_table, Some(vec![(PageId(5), 50)]));
+    }
+
+    #[test]
+    fn recovery_is_reentrant_after_a_failed_pass() {
+        // A store that fails its first N writes models recovery crashing
+        // mid-redo: rerunning recover on the same (partial) image must
+        // converge to the same final state.
+        struct Flaky<'a> {
+            inner: &'a MemStore,
+            failures_left: usize,
+        }
+        impl RedoStore for Flaky<'_> {
+            fn page_size(&self) -> usize {
+                self.inner.page_size()
+            }
+            fn read(&mut self, pid: PageId, buf: &mut [u8]) -> Result<(), IoError> {
+                self.inner.read(pid, buf);
+                Ok(())
+            }
+            fn write(&mut self, pid: PageId, data: &[u8]) -> Result<(), IoError> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    return Err(IoError::new(
+                        turbopool_iosim::FaultDevice::Disk,
+                        turbopool_iosim::IoErrorKind::DeviceDead,
+                        0,
+                    ));
+                }
+                self.inner.write(pid, data);
+                Ok(())
+            }
+        }
+        let log = encode(&[
+            LogRecord::PageWrite {
+                txid: 1,
+                pid: PageId(0),
+                offset: 0,
+                data: vec![1; 4],
+            },
+            LogRecord::Commit { txid: 1 },
+            LogRecord::PageWrite {
+                txid: 2,
+                pid: PageId(1),
+                offset: 0,
+                data: vec![2; 4],
+            },
+            LogRecord::Commit { txid: 2 },
+        ]);
+        let db = MemStore::new(4, 16);
+        let mut flaky = Flaky {
+            inner: &db,
+            failures_left: 2,
+        };
+        // First and second passes die mid-redo; the third converges.
+        assert!(recover(&log, &mut flaky, None).is_err());
+        assert!(recover(&log, &mut flaky, None).is_err());
+        let out = recover(&log, &mut flaky, None).unwrap();
+        assert_eq!(out.stats.writes_applied, 2);
+        let mut buf = [0u8; 16];
+        db.read(PageId(0), &mut buf);
+        assert_eq!(&buf[..4], &[1; 4]);
+        db.read(PageId(1), &mut buf);
+        assert_eq!(&buf[..4], &[2; 4]);
     }
 }

@@ -27,6 +27,9 @@ cargo test -q --workspace
 echo "==> fault matrix (invariant auditor compiled out: --no-default-features)"
 cargo test -q --no-default-features --test fault_injection --test crash_torture
 
+echo "==> crash-schedule sweep (strided, all five designs)"
+cargo test -q --release --test crash_schedule quick_sweep_all_designs
+
 echo "==> parallel-driver determinism incl. brownout replay (strict invariants on)"
 cargo test -q --release --features strict-invariants --test driver_determinism
 
@@ -35,5 +38,8 @@ TURBO_QUICK=1 cargo bench -q -p turbopool-bench --bench driver_scaling
 
 echo "==> brownout bench (quick, asserts CW/DW/LC >= 2x noSSD while degraded)"
 TURBO_QUICK=1 cargo bench -q -p turbopool-bench --bench brownout
+
+echo "==> recovery bench (quick, emits BENCH_recovery.json)"
+TURBO_QUICK=1 cargo bench -q -p turbopool-bench --bench recovery
 
 echo "All checks passed."

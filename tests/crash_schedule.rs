@@ -1,0 +1,127 @@
+//! Exhaustive crash-schedule sweeps (recovery-hardening extension).
+//!
+//! For each buffer-pool design, a seeded trace is recorded to number every
+//! durable-write boundary, then replayed once per boundary with power
+//! failing exactly there — plus a torn-write variant of every cut, plus
+//! double-crash schedules that interrupt recovery itself. Every incarnation
+//! must recover to exactly the state predicted by commit attribution
+//! (a transaction is durable iff its commit log-flush persisted), and the
+//! whole sweep must be bit-identical across reruns.
+
+use turbopool::core::{SsdConfig, SsdDesign};
+use turbopool::engine::{explore, ExplorerConfig, ExplorerOutcome};
+
+fn ssd(design: SsdDesign) -> Option<SsdConfig> {
+    let mut s = SsdConfig::new(design, 32);
+    s.partitions = 2;
+    s.lambda = 0.5;
+    // Exercise checkpoint-embedded SSD tables and probed re-adoption in
+    // the crash schedules (TAC ignores the flag).
+    s.warm_restart = true;
+    Some(s)
+}
+
+fn sweep(ssd: Option<SsdConfig>) -> ExplorerOutcome {
+    let mut cfg = ExplorerConfig::new(ssd);
+    cfg.ops = 40;
+    cfg.checkpoint_every = 8;
+    cfg.torn_variants = true;
+    cfg.cut_stride = 1; // exhaustive: every boundary is a crash point
+    cfg.double_crash_stride = 6;
+    explore(&cfg)
+}
+
+fn check(out: &ExplorerOutcome) {
+    // Exhaustive coverage: one persist + one torn schedule per boundary.
+    assert_eq!(out.schedules_run, out.boundaries * 2);
+    assert_eq!(out.torn_schedules, out.boundaries);
+    // Every kind of durable write appeared in the trace; a missing kind
+    // means the trace no longer exercises that device's crash points.
+    assert!(out.counts.log_flushes > 0, "no log-flush boundaries");
+    assert!(out.counts.disk_pages > 0, "no disk-page boundaries");
+    // A pure power failure never loses committed data.
+    assert_eq!(out.damaged_reports, 0);
+    // Double-crash schedules ran, and some actually caught recovery
+    // mid-redo (forcing a re-entrant second pass).
+    assert!(out.double_crash_armed > 0);
+    assert!(
+        out.double_crash_interrupted > 0,
+        "no double-crash schedule interrupted recovery: {out:?}"
+    );
+    assert!(out.max_recovery_attempts >= 2);
+}
+
+#[test]
+fn exhaustive_sweep_nossd() {
+    let out = sweep(None);
+    check(&out);
+}
+
+#[test]
+fn exhaustive_sweep_clean_write() {
+    let out = sweep(ssd(SsdDesign::CleanWrite));
+    check(&out);
+    assert!(out.counts.ssd_frames > 0, "CW produced no SSD boundaries");
+}
+
+#[test]
+fn exhaustive_sweep_dual_write() {
+    let out = sweep(ssd(SsdDesign::DualWrite));
+    check(&out);
+    assert!(out.counts.ssd_frames > 0, "DW produced no SSD boundaries");
+}
+
+#[test]
+fn exhaustive_sweep_lazy_cleaning() {
+    let out = sweep(ssd(SsdDesign::LazyCleaning));
+    check(&out);
+    assert!(out.counts.ssd_frames > 0, "LC produced no SSD boundaries");
+}
+
+#[test]
+fn exhaustive_sweep_tac() {
+    let out = sweep(ssd(SsdDesign::Tac));
+    check(&out);
+    assert!(out.counts.ssd_frames > 0, "TAC produced no SSD boundaries");
+}
+
+/// The whole sweep — boundary numbering, every recovered value, every
+/// report — replays bit-identically. This is the property that makes a
+/// crash-schedule failure reproducible from nothing but its cut number.
+#[test]
+fn sweep_is_bit_identical_across_reruns() {
+    let a = sweep(ssd(SsdDesign::LazyCleaning));
+    let b = sweep(ssd(SsdDesign::LazyCleaning));
+    assert_eq!(a, b, "rerun diverged");
+    // And the fingerprint is sensitive to the schedule outcomes: a
+    // different trace must not collide.
+    let mut cfg = ExplorerConfig::new(ssd(SsdDesign::LazyCleaning));
+    cfg.ops = 40;
+    cfg.checkpoint_every = 8;
+    cfg.double_crash_stride = 6;
+    cfg.seed ^= 1;
+    let c = explore(&cfg);
+    assert_ne!(a.fingerprint, c.fingerprint, "fingerprint ignores the data");
+}
+
+/// Strided sweep across all five designs — the cheap smoke test that
+/// `scripts/check.sh` runs on every change.
+#[test]
+fn quick_sweep_all_designs() {
+    for design in [
+        None,
+        ssd(SsdDesign::CleanWrite),
+        ssd(SsdDesign::DualWrite),
+        ssd(SsdDesign::LazyCleaning),
+        ssd(SsdDesign::Tac),
+    ] {
+        let mut cfg = ExplorerConfig::new(design);
+        cfg.ops = 16;
+        cfg.checkpoint_every = 6;
+        cfg.cut_stride = 9;
+        cfg.double_crash_stride = 18;
+        let out = explore(&cfg);
+        assert!(out.schedules_run > 0);
+        assert_eq!(out.damaged_reports, 0);
+    }
+}
