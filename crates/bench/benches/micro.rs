@@ -19,7 +19,7 @@ static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
 /// Time `iters` calls of `f` after `iters / 10` warmup calls and print
 /// mean ns/iter. Wall-clock by necessity: these measure real CPU cost of
 /// the data structures, not simulated I/O time.
-fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) -> f64 {
     for _ in 0..iters / 10 {
         f();
     }
@@ -35,6 +35,7 @@ fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
     if let Ok(mut r) = RESULTS.lock() {
         r.push((name.to_string(), ns, iters));
     }
+    ns
 }
 
 fn bench_dual_heap() {
@@ -82,6 +83,43 @@ fn bench_lru2() {
         i = (i + 127) % 8192;
         std::hint::black_box(l.touch(i));
     });
+}
+
+/// The LRU-2 history-prune delta (PR 8 satellite): finding the median
+/// `last` stamp used to fully sort the collected stamps (O(n log n));
+/// the policy now uses `select_nth_unstable` (O(n)), which picks the
+/// same element — the bit-identity regression gate proves behavior is
+/// unchanged, this proves the victim-path cost actually dropped.
+fn bench_history_prune() {
+    const N: usize = 8192;
+    let stamps: Vec<u64> = (0..N as u64)
+        .map(|i| (i * 2_654_435_761) % 100_000)
+        .collect();
+    let mid = N / 2;
+    let sort_ns = bench("hist_prune_median_sort", 2_000, || {
+        let mut lasts = stamps.clone();
+        lasts.sort_unstable();
+        std::hint::black_box(lasts[mid]);
+    });
+    let nth_ns = bench("hist_prune_median_select_nth", 2_000, || {
+        let mut lasts = stamps.clone();
+        let (_, &mut median, _) = lasts.select_nth_unstable(mid);
+        std::hint::black_box(median);
+    });
+    // Both must select the same median, and the O(n) path must win.
+    let mut a = stamps.clone();
+    a.sort_unstable();
+    let mut b = stamps.clone();
+    let (_, &mut m, _) = b.select_nth_unstable(mid);
+    assert_eq!(a[mid], m, "select_nth picked a different median than sort");
+    assert!(
+        nth_ns < sort_ns,
+        "select_nth prune ({nth_ns:.0} ns) not faster than sort prune ({sort_ns:.0} ns)"
+    );
+    println!(
+        "hist_prune delta: select_nth is {:.1}x faster than sort",
+        sort_ns / nth_ns.max(1e-9)
+    );
 }
 
 fn bench_ssd_manager() {
@@ -173,6 +211,7 @@ fn main() {
     bench_dual_heap();
     bench_partition();
     bench_lru2();
+    bench_history_prune();
     bench_ssd_manager();
     bench_page_buf();
     bench_engine();

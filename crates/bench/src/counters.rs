@@ -7,7 +7,7 @@
 //! extending the report is a compile error, not silent observability
 //! rot.
 
-use turbopool_bufpool::{ClassifierStats, PoolStats};
+use turbopool_bufpool::{ClassifierStats, PolicyStats, PoolStats};
 use turbopool_core::metrics::SsdMetricsSnapshot;
 use turbopool_iosim::FaultStats;
 
@@ -32,6 +32,7 @@ pub fn ssd_metrics_json(s: &SsdMetricsSnapshot) -> Json {
         admissions,
         fill_admissions,
         policy_rejections,
+        admission_ghost_hits,
         replacements,
         invalidations,
         cleaned_pages,
@@ -66,6 +67,7 @@ pub fn ssd_metrics_json(s: &SsdMetricsSnapshot) -> Json {
         ("admissions", admissions),
         ("fill_admissions", fill_admissions),
         ("policy_rejections", policy_rejections),
+        ("admission_ghost_hits", admission_ghost_hits),
         ("replacements", replacements),
         ("invalidations", invalidations),
         ("cleaned_pages", cleaned_pages),
@@ -113,6 +115,24 @@ pub fn pool_stats_json(s: &PoolStats) -> Json {
         ("prefetched_pages", prefetched_pages),
         ("expanded_fill_pages", expanded_fill_pages),
         ("checkpoint_writes", checkpoint_writes),
+    ])
+}
+
+/// Every replacement-policy counter as one JSON object.
+pub fn policy_stats_json(s: &PolicyStats) -> Json {
+    let PolicyStats {
+        ghost_hits,
+        scan_steps,
+        second_chances,
+        probation_evictions,
+        protected_evictions,
+    } = *s;
+    obj(vec![
+        ("ghost_hits", ghost_hits),
+        ("scan_steps", scan_steps),
+        ("second_chances", second_chances),
+        ("probation_evictions", probation_evictions),
+        ("protected_evictions", protected_evictions),
     ])
 }
 
@@ -169,15 +189,25 @@ mod tests {
     fn ssd_metrics_emitter_is_field_complete() {
         let j = ssd_metrics_json(&SsdMetricsSnapshot::default());
         let ks = keys(&j);
-        assert_eq!(ks.len(), 32, "one JSON key per SsdMetrics counter");
+        assert_eq!(ks.len(), 33, "one JSON key per SsdMetrics counter");
         for probe in [
             "throttled_reads",
             "ssd_retries",
             "cleaner_boosts",
             "warm_rejected_stale",
             "warm_rejected_checksum",
+            "admission_ghost_hits",
         ] {
             assert!(ks.iter().any(|k| k == probe), "missing {probe}");
+        }
+    }
+
+    #[test]
+    fn policy_stats_emitter_is_field_complete() {
+        let p = keys(&policy_stats_json(&PolicyStats::default()));
+        assert_eq!(p.len(), 5);
+        for probe in ["ghost_hits", "scan_steps", "second_chances"] {
+            assert!(p.iter().any(|k| k == probe), "missing {probe}");
         }
     }
 

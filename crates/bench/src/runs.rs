@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use turbopool_bufpool::{AdmissionKind, PolicyStats, ReplacementKind};
 use turbopool_core::metrics::SsdMetricsSnapshot;
 use turbopool_engine::Database;
 use turbopool_iosim::{Time, HOUR, MILLISECOND, MINUTE};
@@ -32,6 +33,16 @@ pub struct RunOptions {
     pub checkpoint: Option<Time>,
     /// Device traffic series bucket (Figure 8); `None` disables.
     pub io_series: Option<Time>,
+    /// DRAM replacement policy (the paper's LRU-2 by default).
+    pub replacement: ReplacementKind,
+    /// SSD admission policy (the paper's per-design rule by default).
+    pub admission: AdmissionKind,
+    /// DRAM pool frames override (`None` = the paper's scaled size).
+    /// The policy arena shrinks the pools so replacement and admission
+    /// actually churn within a short run.
+    pub mem_frames: Option<usize>,
+    /// SSD frames override (`None` = the paper's scaled size).
+    pub ssd_frames: Option<u64>,
 }
 
 impl RunOptions {
@@ -43,6 +54,10 @@ impl RunOptions {
             lambda: 0.5,
             checkpoint: None,
             io_series: None,
+            replacement: ReplacementKind::Lru2,
+            admission: AdmissionKind::DesignDefault,
+            mem_frames: None,
+            ssd_frames: None,
         }
     }
 
@@ -54,6 +69,10 @@ impl RunOptions {
             lambda: 0.01,
             checkpoint: Some(40 * MINUTE),
             io_series: None,
+            replacement: ReplacementKind::Lru2,
+            admission: AdmissionKind::DesignDefault,
+            mem_frames: None,
+            ssd_frames: None,
         }
     }
 }
@@ -75,6 +94,8 @@ pub struct OltpRun {
     pub ssd: Option<SsdMetricsSnapshot>,
     /// Buffer pool counters.
     pub pool: turbopool_bufpool::PoolStats,
+    /// DRAM replacement-policy counters (all zero for plain LRU-2).
+    pub policy: PolicyStats,
     /// Disk-group device totals.
     pub disk: turbopool_iosim::StatSnapshot,
     /// SSD device totals.
@@ -99,16 +120,26 @@ fn attach(
     domain: usize,
     metric: &Arc<ThroughputRecorder>,
 ) -> Arc<Database> {
+    let tweak = |spec: &mut turbopool_workload::scenario::SystemSpec| {
+        spec.replacement = opts.replacement;
+        spec.admission = opts.admission;
+        if let Some(frames) = opts.mem_frames {
+            spec.mem_frames = frames;
+        }
+        if let Some(frames) = opts.ssd_frames {
+            spec.ssd_frames = frames;
+        }
+    };
     let db = match kind {
         OltpKind::TpcC { warehouses } => {
-            let t = Arc::new(Tpcc::setup(design, warehouses, opts.lambda));
+            let t = Arc::new(Tpcc::setup_tweak(design, warehouses, opts.lambda, tweak));
             for c in 0..opts.clients {
                 driver.add_in_domain(domain, 0, Box::new(t.client(c as u64, Arc::clone(metric))));
             }
             Arc::clone(&t.db)
         }
         OltpKind::TpcE { customers } => {
-            let t = Arc::new(Tpce::setup(design, customers, opts.lambda));
+            let t = Arc::new(Tpce::setup_tweak(design, customers, opts.lambda, tweak));
             for c in 0..opts.clients {
                 driver.add_in_domain(domain, 0, Box::new(t.client(c as u64, Arc::clone(metric))));
             }
@@ -151,6 +182,7 @@ fn collect(
         series,
         ssd: db.ssd_metrics(),
         pool: db.pool_stats(),
+        policy: db.policy_stats(),
         disk: db.io().disk_stats(),
         ssd_dev: db.io().ssd_stats(),
         disk_series: db.io().disk_series(),

@@ -1,0 +1,312 @@
+//! Pluggable SSD admission policies (ISSUE 8).
+//!
+//! CW/DW/LC hardwired "admit on random-class reads (everything while
+//! filling)" and TAC hardwired its extent-temperature rule; this module
+//! extracts the decision behind the [`AdmissionPolicy`] trait, keyed by
+//! the [`AdmissionKind`] knob on `SsdConfig`.
+//!
+//! The policy decides only *whether a page qualifies*. Orthogonal gates
+//! — quarantine, the §3.3.2 throttle, fail-slow hedging — stay in the
+//! SSD managers and run *before* the policy is consulted, so a degraded
+//! device receives no optional traffic regardless of policy. TAC's
+//! `DesignDefault` keeps its temperature comparison inside `TacCache`
+//! (it needs the extent table); non-default kinds replace exactly that
+//! comparison.
+//!
+//! Determinism: decisions are pure functions of the call sequence. The
+//! ghost qualifier keeps its state behind a private mutex (lock class
+//! `ghost`, a leaf in `lock_order.toml`) and only ever *looks up* its
+//! hash map — never iterates it.
+
+use std::collections::{HashMap, VecDeque};
+
+use turbopool_iosim::sync::Mutex;
+use turbopool_iosim::{Locality, PageId};
+
+/// Which admission policy an SSD cache runs (the `SsdConfig` knob).
+/// Matches over this enum must be exhaustive with no `_` arm (lint rule
+/// L12, `policy-match`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdmissionKind {
+    /// The paper's per-design rule: random-class-only for CW/DW/LC
+    /// (§2.2, everything during aggressive filling), extent temperature
+    /// for TAC (§4). The regression-gated default.
+    DesignDefault,
+    /// Admit every candidate (sequential pages included) — the "is the
+    /// class filter doing anything?" ablation.
+    AdmitAll,
+    /// Ghost-hit qualifier: a page must prove itself by reappearing.
+    /// First sight goes into a ghost list and is rejected; a candidate
+    /// found in the ghost (recently rejected *or* recently evicted from
+    /// the SSD) is admitted regardless of class. Aggressive filling
+    /// still admits everything.
+    GhostHit,
+}
+
+impl Default for AdmissionKind {
+    fn default() -> Self {
+        AdmissionKind::DesignDefault
+    }
+}
+
+impl AdmissionKind {
+    /// Stable label for reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionKind::DesignDefault => "default",
+            AdmissionKind::AdmitAll => "admit-all",
+            AdmissionKind::GhostHit => "ghost-hit",
+        }
+    }
+
+    /// The kinds the policy-arena bench sweeps.
+    pub fn arena() -> [AdmissionKind; 3] {
+        [
+            AdmissionKind::DesignDefault,
+            AdmissionKind::AdmitAll,
+            AdmissionKind::GhostHit,
+        ]
+    }
+
+    /// Build the policy object. `ghost_cap` bounds the ghost list
+    /// (callers pass the SSD frame count).
+    pub fn build(self, ghost_cap: usize) -> Box<dyn AdmissionPolicy> {
+        match self {
+            // CW/DW/LC's DesignDefault *is* the random-only rule; TAC
+            // intercepts DesignDefault before consulting the object.
+            AdmissionKind::DesignDefault => Box::new(RandomOnly),
+            AdmissionKind::AdmitAll => Box::new(AdmitAll),
+            AdmissionKind::GhostHit => Box::new(GhostHitQualifier::new(ghost_cap)),
+        }
+    }
+}
+
+/// Outcome of one admission decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitVerdict {
+    /// Admit the page.
+    Admit,
+    /// Admit, and the decision came from a ghost hit (callers bump the
+    /// `admission_ghost_hits` metric).
+    AdmitGhost,
+    /// Reject (callers bump `policy_rejections`).
+    Reject,
+}
+
+impl AdmitVerdict {
+    pub fn admitted(self) -> bool {
+        match self {
+            AdmitVerdict::Admit | AdmitVerdict::AdmitGhost => true,
+            AdmitVerdict::Reject => false,
+        }
+    }
+}
+
+/// Admit-on-read / admit-on-clean decisions for the SSD tier.
+///
+/// Called with no manager latch held on the CW/DW/LC path and under the
+/// TAC interior latch on the TAC path; implementations must not perform
+/// I/O and must serialize any internal state behind their own leaf lock.
+pub trait AdmissionPolicy: Send + Sync {
+    /// Stable short name (reports use [`AdmissionKind::label`]).
+    fn name(&self) -> &'static str;
+
+    /// Should `pid` (classified `class` by the pool) enter the cache?
+    /// `filling` is the aggressive-filling flag (§3.3.1): below τ
+    /// occupancy every design admits everything.
+    fn admit(&self, pid: PageId, class: Locality, filling: bool) -> AdmitVerdict;
+
+    /// Feed: `pid` was replaced out of the SSD (ghost qualifiers give
+    /// recently evicted pages a fast path back in).
+    fn note_evicted(&self, pid: PageId);
+}
+
+/// The paper's CW/DW/LC rule: admit while filling, else random-class
+/// reads only (§2.2 — sequential traffic is cheap on disk and would
+/// pollute the SSD).
+pub struct RandomOnly;
+
+impl AdmissionPolicy for RandomOnly {
+    fn name(&self) -> &'static str {
+        "random-only"
+    }
+
+    fn admit(&self, _pid: PageId, class: Locality, filling: bool) -> AdmitVerdict {
+        if filling || class == Locality::Random {
+            AdmitVerdict::Admit
+        } else {
+            AdmitVerdict::Reject
+        }
+    }
+
+    fn note_evicted(&self, _pid: PageId) {}
+}
+
+/// Admit everything. Isolates how much of a design's win comes from the
+/// admission filter rather than the design itself.
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &'static str {
+        "admit-all"
+    }
+
+    fn admit(&self, _pid: PageId, _class: Locality, _filling: bool) -> AdmitVerdict {
+        AdmitVerdict::Admit
+    }
+
+    fn note_evicted(&self, _pid: PageId) {}
+}
+
+/// Sequence-stamped bounded ghost list (same structure as the DRAM
+/// ghost policy's B-lists): membership map for O(1) lookup, FIFO deque
+/// for aging, stale deque entries skipped by stamp.
+struct GhostState {
+    seen: HashMap<PageId, u64>,
+    fifo: VecDeque<(PageId, u64)>,
+    seq: u64,
+}
+
+impl GhostState {
+    fn remember(&mut self, pid: PageId, cap: usize) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.seen.insert(pid, seq);
+        self.fifo.push_back((pid, seq));
+        while self.fifo.len() > cap {
+            let Some((old, old_seq)) = self.fifo.pop_front() else {
+                break;
+            };
+            if self.seen.get(&old) == Some(&old_seq) {
+                self.seen.remove(&old);
+            }
+        }
+    }
+}
+
+/// Second-sight doorkeeper: a candidate is admitted only when its page
+/// id is already in the ghost list (it was rejected before, or was
+/// recently evicted from the SSD), proving re-reference within the
+/// ghost window. Classless on purpose: a re-referenced sequential page
+/// qualifies, trading the class heuristic for observed frequency.
+pub struct GhostHitQualifier {
+    cap: usize,
+    ghost: Mutex<GhostState>,
+}
+
+impl GhostHitQualifier {
+    pub fn new(cap: usize) -> Self {
+        GhostHitQualifier {
+            cap: cap.max(1),
+            ghost: Mutex::new(GhostState {
+                seen: HashMap::new(),
+                fifo: VecDeque::new(),
+                seq: 0,
+            }),
+        }
+    }
+}
+
+impl AdmissionPolicy for GhostHitQualifier {
+    fn name(&self) -> &'static str {
+        "ghost-hit"
+    }
+
+    fn admit(&self, pid: PageId, _class: Locality, filling: bool) -> AdmitVerdict {
+        if filling {
+            return AdmitVerdict::Admit;
+        }
+        let mut ghost = self.ghost.lock();
+        if ghost.seen.remove(&pid).is_some() {
+            // Deque entry goes stale and is skipped when it ages out.
+            AdmitVerdict::AdmitGhost
+        } else {
+            let cap = self.cap;
+            ghost.remember(pid, cap);
+            AdmitVerdict::Reject
+        }
+    }
+
+    fn note_evicted(&self, pid: PageId) {
+        let cap = self.cap;
+        self.ghost.lock().remember(pid, cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_only_matches_the_paper_rule() {
+        let p = RandomOnly;
+        assert!(p.admit(PageId(1), Locality::Random, false).admitted());
+        assert!(!p.admit(PageId(1), Locality::Sequential, false).admitted());
+        assert!(p.admit(PageId(1), Locality::Sequential, true).admitted());
+    }
+
+    #[test]
+    fn admit_all_admits_everything() {
+        let p = AdmitAll;
+        assert!(p.admit(PageId(9), Locality::Sequential, false).admitted());
+    }
+
+    #[test]
+    fn ghost_hit_requires_second_sight() {
+        let p = GhostHitQualifier::new(8);
+        // First sight: rejected and remembered.
+        assert_eq!(
+            p.admit(PageId(4), Locality::Random, false),
+            AdmitVerdict::Reject
+        );
+        // Second sight: ghost hit, admitted (class-independent).
+        assert_eq!(
+            p.admit(PageId(4), Locality::Sequential, false),
+            AdmitVerdict::AdmitGhost
+        );
+        // The hit consumed the ghost entry.
+        assert_eq!(
+            p.admit(PageId(4), Locality::Random, false),
+            AdmitVerdict::Reject
+        );
+        // Filling bypasses the doorkeeper.
+        assert_eq!(
+            p.admit(PageId(5), Locality::Random, true),
+            AdmitVerdict::Admit
+        );
+    }
+
+    #[test]
+    fn ghost_evictions_qualify_for_readmission() {
+        let p = GhostHitQualifier::new(8);
+        p.note_evicted(PageId(7));
+        assert_eq!(
+            p.admit(PageId(7), Locality::Random, false),
+            AdmitVerdict::AdmitGhost
+        );
+    }
+
+    #[test]
+    fn ghost_list_is_bounded() {
+        let p = GhostHitQualifier::new(2);
+        for pid in 0..10u64 {
+            let _ = p.admit(PageId(pid), Locality::Random, false);
+        }
+        // Oldest entries aged out; only the last two remain.
+        assert_eq!(
+            p.admit(PageId(0), Locality::Random, false),
+            AdmitVerdict::Reject
+        );
+        assert_eq!(
+            p.admit(PageId(9), Locality::Random, false),
+            AdmitVerdict::AdmitGhost
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AdmissionKind::default(), AdmissionKind::DesignDefault);
+        assert_eq!(AdmissionKind::GhostHit.label(), "ghost-hit");
+        assert_eq!(AdmissionKind::arena().len(), 3);
+    }
+}

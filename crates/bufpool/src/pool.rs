@@ -1,13 +1,12 @@
-//! The buffer pool proper: frames, hash table, LRU-2 replacement, guards.
+//! The buffer pool proper: frames, hash table, pluggable replacement, guards.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use turbopool_iosim::sync::{Mutex, RwLock};
 use turbopool_iosim::{Clk, IoError, Locality, PageBuf, PageId, Time};
 
-use crate::lru2::{KDist, Lru2};
+use crate::policy::{PolicyStats, ReplacementKind, ReplacementPolicy};
 use crate::readahead::{Classifier, ClassifierKind, ClassifierStats};
 use crate::traits::PageIo;
 
@@ -27,6 +26,9 @@ pub struct BufferPoolConfig {
     pub fill_expansion: u64,
     /// How page accesses are classified random/sequential (§2.2).
     pub classifier: ClassifierKind,
+    /// Which replacement policy picks eviction victims (LRU-2 is the
+    /// paper's choice and the regression-gated default).
+    pub replacement: ReplacementKind,
 }
 
 impl BufferPoolConfig {
@@ -37,6 +39,7 @@ impl BufferPoolConfig {
             db_pages,
             fill_expansion: 8,
             classifier: ClassifierKind::ReadAhead,
+            replacement: ReplacementKind::Lru2,
         }
     }
 }
@@ -99,48 +102,17 @@ struct Inner {
     map: HashMap<PageId, usize>,
     meta: Vec<FrameMeta>,
     free: Vec<usize>,
-    lru: Lru2,
-    /// Retained LRU-2 history of evicted pages (O'Neil's Retained
-    /// Information Period): re-referenced pages keep their penultimate
-    /// access stamp across evictions, so a hot page that was pushed out
-    /// does not re-enter looking like a scan-once page (which would make
-    /// it the immediate next victim). Bounded to a multiple of the frame
-    /// count.
-    hist: HashMap<PageId, (u64, u64)>,
-    /// Lazy min-heap of `(kdist, slot)`; entries are revalidated on pop.
-    heap: BinaryHeap<Reverse<(KDist, usize)>>,
+    /// Victim selection + access bookkeeping, behind the policy trait.
+    /// The default [`ReplacementKind::Lru2`] reproduces the pre-trait
+    /// hardwired LRU-2 bit-for-bit (see `tests/policy_default_regression`).
+    policy: Box<dyn ReplacementPolicy>,
     filled_once: bool,
     stats: PoolStats,
     classifier: Classifier,
 }
 
 impl Inner {
-    fn touch(&mut self, slot: usize) {
-        let kd = self.lru.touch(slot);
-        self.heap.push(Reverse((kd, slot)));
-    }
-
-    /// Restore retained history for a page being (re)installed in `slot`.
-    fn adopt_history(&mut self, slot: usize, pid: PageId) {
-        if let Some((last, prev)) = self.hist.remove(&pid) {
-            self.lru.seed(slot, last, prev);
-        }
-    }
-
-    /// Remember the evicted page's stamps, pruning the retained set to
-    /// 8x the frame count by dropping the stalest half.
-    fn retain_history(&mut self, pid: PageId, last: u64, prev: u64) {
-        self.hist.insert(pid, (last, prev));
-        let cap = 8 * self.meta.len();
-        if self.hist.len() > cap {
-            let mut lasts: Vec<u64> = self.hist.values().map(|&(l, _)| l).collect();
-            lasts.sort_unstable();
-            let median = lasts[lasts.len() / 2];
-            self.hist.retain(|_, &mut (l, _)| l >= median);
-        }
-    }
-
-    /// Obtain a free slot, selecting and detaching the LRU-2 victim if
+    /// Obtain a free slot, selecting and detaching the policy's victim if
     /// necessary — pure bookkeeping, no I/O, so it runs entirely under
     /// the pool latch. When a page is evicted the caller receives a
     /// [`PendingEvict`] and must hand the frame's bytes to the storage
@@ -151,14 +123,18 @@ impl Inner {
             return (slot, None);
         }
         self.filled_once = true;
-        let slot = self.select_victim();
+        // Split borrow: the policy mutates its own state while probing
+        // frame metadata through the callback.
+        let (policy, meta) = (&mut self.policy, &self.meta);
+        let slot = policy
+            .select_victim(&mut |s| meta[s].pid.is_some() && meta[s].pin == 0)
+            // lint: allow(panic) — an unpinnable pool is a caller bug; the paper's pool sizes guarantee headroom.
+            .expect("buffer pool exhausted: every frame is pinned");
         let m = self.meta[slot];
-        // lint: allow(panic) — select_victim only returns slots that hold a page once the pool has filled.
+        // lint: allow(panic) — select_victim only returns slots the evictable callback approved.
         let victim = m.pid.expect("victim has a page");
         self.map.remove(&victim);
-        let (prev, last) = self.lru.kdist(slot);
-        self.retain_history(victim, last, prev);
-        self.lru.reset(slot);
+        self.policy.on_evict(slot, victim);
         if m.dirty {
             self.stats.evictions_dirty += 1;
         } else {
@@ -174,34 +150,6 @@ impl Inner {
                 class: m.class,
             }),
         )
-    }
-
-    /// Pick and vacate a victim frame. Returns `(slot, evicted meta, data
-    /// must be flushed by caller)`. Panics if every frame is pinned.
-    fn select_victim(&mut self) -> usize {
-        loop {
-            match self.heap.pop() {
-                Some(Reverse((kd, slot))) => {
-                    let m = &self.meta[slot];
-                    if m.pid.is_some() && m.pin == 0 && self.lru.kdist(slot) == kd {
-                        return slot;
-                    }
-                    // Stale entry (re-touched, freed, or pinned): skip.
-                }
-                None => {
-                    // All entries were stale; rebuild from live metadata.
-                    let mut rebuilt = false;
-                    for slot in 0..self.meta.len() {
-                        let m = &self.meta[slot];
-                        if m.pid.is_some() && m.pin == 0 {
-                            self.heap.push(Reverse((self.lru.kdist(slot), slot)));
-                            rebuilt = true;
-                        }
-                    }
-                    assert!(rebuilt, "buffer pool exhausted: every frame is pinned");
-                }
-            }
-        }
     }
 }
 
@@ -226,9 +174,7 @@ impl BufferPool {
                 map: HashMap::with_capacity(cfg.frames),
                 meta: vec![FrameMeta::empty(); cfg.frames],
                 free: (0..cfg.frames).rev().collect(),
-                lru: Lru2::new(cfg.frames),
-                hist: HashMap::new(),
-                heap: BinaryHeap::new(),
+                policy: cfg.replacement.build(cfg.frames),
                 filled_once: false,
                 stats: PoolStats::default(),
                 classifier: Classifier::new(cfg.classifier),
@@ -261,7 +207,7 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         if let Some(&slot) = inner.map.get(&pid) {
             inner.meta[slot].pin += 1;
-            inner.touch(slot);
+            inner.policy.on_access(slot);
             inner.stats.hits += 1;
             // A hit still teaches the proximity classifier the access
             // pattern it would have observed at the I/O layer.
@@ -296,8 +242,7 @@ impl BufferPool {
             class: assigned,
         };
         inner.map.insert(pid, slot);
-        inner.adopt_history(slot, pid);
-        inner.touch(slot);
+        inner.policy.on_install(slot, pid);
         drop(inner);
         // Write-behind for the victim happens outside the pool latch but
         // before any read fills the frame, preserving per-thread I/O order.
@@ -331,8 +276,7 @@ impl BufferPool {
                     class: Locality::Random,
                 };
                 inner.map.insert(extra, s);
-                inner.adopt_history(s, extra);
-                inner.touch(s);
+                inner.policy.on_install(s, extra);
                 inner.stats.expanded_fill_pages += 1;
                 self.data[s].write().copy_from(page.as_slice());
             }
@@ -367,10 +311,8 @@ impl BufferPool {
         debug_assert_eq!(inner.meta[slot].pid, Some(pid));
         inner.map.remove(&pid);
         inner.meta[slot] = FrameMeta::empty();
-        inner.lru.reset(slot);
+        inner.policy.on_remove(slot, pid);
         inner.free.push(slot);
-        // Stale heap entries for this slot are revalidated (and skipped)
-        // by `select_victim`, so they need no eager cleanup here.
     }
 
     /// Pin a *fresh* page that has never been written: installs a zeroed,
@@ -390,8 +332,7 @@ impl BufferPool {
             class: Locality::Random,
         };
         inner.map.insert(pid, slot);
-        inner.adopt_history(slot, pid);
-        inner.touch(slot);
+        inner.policy.on_install(slot, pid);
         drop(inner);
         if let Some(ev) = evicted {
             self.flush_evicted(now, &ev);
@@ -449,16 +390,17 @@ impl BufferPool {
                 class: assigned,
             };
             inner.map.insert(pid, slot);
-            inner.adopt_history(slot, pid);
-            // Double-touch: a single touch would leave the page with an
-            // empty penultimate stamp, making it LRU-2's preferred victim —
-            // and a full pool would evict read-ahead pages before the scan
-            // consumes them, degrading every scan page to a random read.
-            // Stamping twice protects the page until older scan pages (in
-            // install order) have been reclaimed, like the read-ahead page
-            // protection of a production buffer manager.
-            inner.touch(slot);
-            inner.touch(slot);
+            // Double-stamp: install plus one protection access. Under
+            // LRU-2 a single touch would leave the page with an empty
+            // penultimate stamp, making it the preferred victim — a full
+            // pool would evict read-ahead pages before the scan consumes
+            // them, degrading every scan page to a random read. Other
+            // policies interpret the extra access in their own idiom
+            // (CLOCK/SIEVE set the reference bit, ARC promotes to
+            // protected), matching the read-ahead page protection of a
+            // production buffer manager.
+            inner.policy.on_install(slot, pid);
+            inner.policy.on_access(slot);
             inner.stats.prefetched_pages += 1;
             self.data[slot].write().copy_from(page.as_slice());
         }
@@ -556,6 +498,16 @@ impl BufferPool {
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
         self.inner.lock().stats
+    }
+
+    /// Replacement-policy counter snapshot (ghost hits, scan cost, …).
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.inner.lock().policy.stats()
+    }
+
+    /// Short name of the active replacement policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.lock().policy.name()
     }
 
     /// Classifier confusion-matrix snapshot (§2.2 accuracy experiment).

@@ -1,6 +1,7 @@
 //! SSD-manager configuration (the paper's Table 2 parameters, plus the
 //! robustness extensions' retry / fail-slow / congestion knobs).
 
+use turbopool_bufpool::AdmissionKind;
 use turbopool_iosim::RetryPolicy;
 
 /// Which dirty-page design the SSD manager runs.
@@ -112,6 +113,11 @@ pub struct SsdConfig {
     /// cleaner ignores disk congestion, because unchecked dirty growth
     /// would strand the recovery path. Default 0.75.
     pub cleaner_dirty_ceiling: f64,
+    /// Which admission policy qualifies pages for the SSD.
+    /// [`AdmissionKind::DesignDefault`] is the paper's per-design rule
+    /// (random-class-only for CW/DW/LC, extent temperature for TAC) and
+    /// is regression-gated; the alternatives feed the policy-arena bench.
+    pub admission: AdmissionKind,
 }
 
 impl SsdConfig {
@@ -136,6 +142,7 @@ impl SsdConfig {
             cleaner_disk_queue_max: 32,
             cleaner_idle_depth: 1,
             cleaner_dirty_ceiling: 0.75,
+            admission: AdmissionKind::DesignDefault,
         }
     }
 

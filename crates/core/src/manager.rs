@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use turbopool_bufpool::PageIo;
+use turbopool_bufpool::{AdmissionPolicy, AdmitVerdict, PageIo};
 use turbopool_iosim::sync::{Mutex, MutexGuard};
 use turbopool_iosim::{
     fault, Clk, IoError, IoErrorKind, IoManager, Locality, PageBuf, PageId, Time,
@@ -85,6 +85,10 @@ pub struct SsdManager {
     /// Dirty pages whose sole (SSD) copy was lost to corruption or
     /// quarantine, awaiting WAL-tail salvage by the engine.
     stranded: Mutex<Vec<PageId>>,
+    /// Admission policy qualifying pages for the SSD. The default
+    /// (`AdmissionKind::DesignDefault`) is the paper's random-class rule;
+    /// orthogonal gates (quarantine, throttle, hedging) run before it.
+    admission: Box<dyn AdmissionPolicy>,
     /// Counters for the evaluation harnesses.
     pub metrics: SsdMetrics,
     /// Shadow state machine validating every buffer-table transition.
@@ -118,7 +122,9 @@ impl SsdManager {
         let auditor = InvariantAuditor::new(cfg.design);
         // Retain at most one batch's worth of staging buffers (α pages).
         let buf_pool = PageBufPool::new(io.page_size(), cfg.alpha as usize);
+        let admission = cfg.admission.build(cfg.frames as usize);
         SsdManager {
+            admission,
             cfg,
             io,
             parts,
@@ -511,6 +517,10 @@ impl SsdManager {
             self.audit(rec.pid, AuditOp::Replace);
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             SsdMetrics::bump(&self.metrics.replacements);
+            // Ghost-qualifying policies give replaced pages a fast path
+            // back in (no-op for the default). Lock order: `parts` is
+            // held; the policy's internal `ghost` lock is a leaf.
+            self.admission.note_evicted(rec.pid);
             return Reclaimed::Direct;
         }
         // All pages dirty: detach the oldest for inline cleaning.
@@ -519,6 +529,7 @@ impl SsdManager {
             self.occupancy.fetch_sub(1, Ordering::Relaxed);
             self.dirty_total.fetch_sub(1, Ordering::Relaxed);
             SsdMetrics::bump(&self.metrics.replacements);
+            self.admission.note_evicted(rec.pid);
             return Reclaimed::DirtyDeferred {
                 idx: oldest,
                 victim: rec.pid,
@@ -1117,13 +1128,20 @@ impl PageIo for SsdManager {
             }
         }
 
-        let admit_class = self.filling() || class == Locality::Random;
-        if !admit_class {
-            SsdMetrics::bump(&self.metrics.policy_rejections);
-            if dirty {
-                self.disk_write(now, pid, data);
+        // For `DesignDefault` this is the paper's rule verbatim: admit
+        // while filling, else random-class only.
+        match self.admission.admit(pid, class, self.filling()) {
+            AdmitVerdict::Admit => {}
+            AdmitVerdict::AdmitGhost => {
+                SsdMetrics::bump(&self.metrics.admission_ghost_hits);
             }
-            return;
+            AdmitVerdict::Reject => {
+                SsdMetrics::bump(&self.metrics.policy_rejections);
+                if dirty {
+                    self.disk_write(now, pid, data);
+                }
+                return;
+            }
         }
         let queue_full = self.throttled(now);
         if queue_full {
@@ -1199,10 +1217,19 @@ impl PageIo for SsdManager {
             // A dead disk completes nothing; there is nothing to wait on.
             Err(_) => now,
         };
-        // DW extension (§3.2): during a checkpoint, random-class dirty
-        // pages are written to the SSD as well, filling it faster.
+        // DW extension (§3.2): during a checkpoint, admission-qualified
+        // dirty pages are written to the SSD as well, filling it faster.
+        // `filling = false` on purpose: the pre-trait rule was plain
+        // `class == Random` with no aggressive-filling term here, and the
+        // default policy must reproduce it exactly.
         if self.cfg.design == SsdDesign::DualWrite
-            && class == Locality::Random
+            && {
+                let v = self.admission.admit(pid, class, false);
+                if v == AdmitVerdict::AdmitGhost {
+                    SsdMetrics::bump(&self.metrics.admission_ghost_hits);
+                }
+                v.admitted()
+            }
             && !self.is_quarantined()
             && !self.throttled(now)
         {

@@ -20,6 +20,10 @@ pub struct SsdMetrics {
     pub fill_admissions: AtomicU64,
     /// Evictions rejected by the admission policy (sequential class).
     pub policy_rejections: AtomicU64,
+    /// Admissions granted by a ghost hit (the `GhostHit` admission
+    /// policy re-admitting a recently rejected or replaced page; always
+    /// 0 under `DesignDefault`).
+    pub admission_ghost_hits: AtomicU64,
     /// SSD frames reclaimed by replacement.
     pub replacements: AtomicU64,
     /// Invalidations triggered by in-memory dirtying.
@@ -98,6 +102,7 @@ pub struct SsdMetricsSnapshot {
     pub admissions: u64,
     pub fill_admissions: u64,
     pub policy_rejections: u64,
+    pub admission_ghost_hits: u64,
     pub replacements: u64,
     pub invalidations: u64,
     pub cleaned_pages: u64,
@@ -135,6 +140,7 @@ impl SsdMetrics {
             admissions: self.admissions.load(Ordering::Relaxed),
             fill_admissions: self.fill_admissions.load(Ordering::Relaxed),
             policy_rejections: self.policy_rejections.load(Ordering::Relaxed),
+            admission_ghost_hits: self.admission_ghost_hits.load(Ordering::Relaxed),
             replacements: self.replacements.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             cleaned_pages: self.cleaned_pages.load(Ordering::Relaxed),

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use turbopool_iosim::sync::Mutex;
 
-use turbopool_bufpool::PageIo;
+use turbopool_bufpool::{AdmissionKind, AdmissionPolicy, AdmitVerdict, PageIo};
 use turbopool_iosim::{
     fault, Clk, IoError, IoErrorKind, IoManager, Locality, PageBuf, PageId, Time,
 };
@@ -77,6 +77,11 @@ pub struct TacCache {
     /// Degraded-mode decision counter driving canary probes (see
     /// [`TacCache::hedge_or_probe`]).
     probe_tick: AtomicU64,
+    /// Non-default admission policies (`AdmitAll`, `GhostHit`) replace
+    /// TAC's extent-temperature comparison; `DesignDefault` keeps the
+    /// inline temperature rule (it needs the extent table) and never
+    /// consults this object.
+    admission: Box<dyn AdmissionPolicy>,
     pub metrics: SsdMetrics,
     /// Shadow state machine validating every buffer-table transition.
     auditor: InvariantAuditor,
@@ -86,7 +91,9 @@ impl TacCache {
     pub fn new(cfg: SsdConfig, io: Arc<IoManager>) -> Self {
         assert!(cfg.frames <= io.ssd_frames(), "SSD file too small");
         let frames = cfg.frames as usize;
+        let admission = cfg.admission.build(frames);
         TacCache {
+            admission,
             cfg,
             io,
             inner: Mutex::new(TacInner {
@@ -322,7 +329,25 @@ impl TacCache {
 
     /// Admit `pid` (already read from disk) into the SSD at `now`,
     /// following TAC's admission/replacement rule.
-    fn admit_on_read(&self, now: Time, pid: PageId, data: &[u8], _class: Locality) {
+    /// Free a frame for a qualified admission: take a free frame if one
+    /// exists, else replace the coldest valid resident page. Used by the
+    /// non-default admission kinds, which decide *whether* to admit
+    /// without consulting temperature but still evict coldest-first.
+    fn place_replacing_coldest(&self, inner: &mut TacInner) -> Option<usize> {
+        if let Some(f) = inner.free.pop() {
+            return Some(f);
+        }
+        let (_cold, cold_frame) = self.pop_coldest_valid(inner)?;
+        // lint: allow(panic) — cold_frame came off the temperature heap, which only holds mapped frames.
+        let old = inner.records[cold_frame].take().unwrap();
+        inner.map.remove(&old.pid);
+        self.audit(old.pid, AuditOp::Replace);
+        SsdMetrics::bump(&self.metrics.replacements);
+        self.admission.note_evicted(old.pid);
+        Some(cold_frame)
+    }
+
+    fn admit_on_read(&self, now: Time, pid: PageId, data: &[u8], class: Locality) {
         if self.is_quarantined() {
             return;
         }
@@ -339,36 +364,55 @@ impl TacCache {
             return;
         }
         let filling = inner.map.len() < self.cfg.fill_target() as usize;
-        let frame = if filling {
-            // Aggressive filling: admit everything while below τ.
-            inner.free.pop()
-        } else {
-            // Qualified admission: the page's extent must be hotter than
-            // the coldest extent resident in the SSD.
-            let my_temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
-            match self.pop_coldest_valid(&mut inner) {
-                Some((cold, cold_frame)) if my_temp > cold => {
-                    if let Some(f) = inner.free.pop() {
-                        // A free frame exists; keep the cold page.
-                        inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
-                        Some(f)
-                    } else {
-                        // lint: allow(panic) — cold_frame came off the temperature heap, which only holds mapped frames.
-                        let old = inner.records[cold_frame].take().unwrap();
-                        inner.map.remove(&old.pid);
-                        self.audit(old.pid, AuditOp::Replace);
-                        SsdMetrics::bump(&self.metrics.replacements);
-                        Some(cold_frame)
+        let frame = match self.cfg.admission {
+            AdmissionKind::DesignDefault => {
+                if filling {
+                    // Aggressive filling: admit everything while below τ.
+                    inner.free.pop()
+                } else {
+                    // Qualified admission: the page's extent must be hotter
+                    // than the coldest extent resident in the SSD.
+                    let my_temp = *inner.temps.get(&self.extent(pid)).unwrap_or(&0);
+                    match self.pop_coldest_valid(&mut inner) {
+                        Some((cold, cold_frame)) if my_temp > cold => {
+                            if let Some(f) = inner.free.pop() {
+                                // A free frame exists; keep the cold page.
+                                inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
+                                Some(f)
+                            } else {
+                                // lint: allow(panic) — cold_frame came off the temperature heap, which only holds mapped frames.
+                                let old = inner.records[cold_frame].take().unwrap();
+                                inner.map.remove(&old.pid);
+                                self.audit(old.pid, AuditOp::Replace);
+                                SsdMetrics::bump(&self.metrics.replacements);
+                                Some(cold_frame)
+                            }
+                        }
+                        Some((cold, cold_frame)) => {
+                            // Not hot enough; put the candidate back.
+                            inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
+                            SsdMetrics::bump(&self.metrics.policy_rejections);
+                            None
+                        }
+                        // No valid page to compare against: admit if space
+                        // exists.
+                        None => inner.free.pop(),
                     }
                 }
-                Some((cold, cold_frame)) => {
-                    // Not hot enough; put the candidate back.
-                    inner.heap.push(std::cmp::Reverse((cold, cold_frame)));
-                    SsdMetrics::bump(&self.metrics.policy_rejections);
-                    None
+            }
+            AdmissionKind::AdmitAll | AdmissionKind::GhostHit => {
+                let verdict = self.admission.admit(pid, class, filling);
+                match verdict {
+                    AdmitVerdict::Admit => self.place_replacing_coldest(&mut inner),
+                    AdmitVerdict::AdmitGhost => {
+                        SsdMetrics::bump(&self.metrics.admission_ghost_hits);
+                        self.place_replacing_coldest(&mut inner)
+                    }
+                    AdmitVerdict::Reject => {
+                        SsdMetrics::bump(&self.metrics.policy_rejections);
+                        None
+                    }
                 }
-                // No valid page to compare against: admit if space exists.
-                None => inner.free.pop(),
             }
         };
         let Some(frame) = frame else { return };

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use turbopool_bufpool::ClassifierKind;
+use turbopool_bufpool::{ClassifierKind, ReplacementKind};
 use turbopool_core::SsdConfig;
 use turbopool_iosim::{DeviceSetup, FailSlowConfig, RetryPolicy};
 
@@ -19,6 +19,8 @@ pub struct DbConfig {
     pub fill_expansion: u64,
     /// Random/sequential classifier for SSD admission.
     pub classifier: ClassifierKind,
+    /// DRAM replacement policy (LRU-2 is the paper's and the default).
+    pub replacement: ReplacementKind,
     /// Read-ahead window for table scans, in pages.
     pub readahead_window: u64,
     /// Override the device calibration (defaults to the paper's Table 1).
@@ -42,6 +44,7 @@ impl DbConfig {
             ssd: None,
             fill_expansion: 8,
             classifier: ClassifierKind::ReadAhead,
+            replacement: ReplacementKind::Lru2,
             readahead_window: 32,
             devices: None,
             retry: RetryPolicy::default(),

@@ -78,6 +78,7 @@ impl Database {
         let mut pcfg = BufferPoolConfig::new(cfg.mem_frames, cfg.page_size, cfg.db_pages);
         pcfg.fill_expansion = cfg.fill_expansion;
         pcfg.classifier = cfg.classifier;
+        pcfg.replacement = cfg.replacement;
         let pool = BufferPool::new(pcfg, Arc::clone(&layer));
         let log = log.unwrap_or_else(|| LogManager::new(Arc::clone(&io)));
         Database {
@@ -143,6 +144,11 @@ impl Database {
 
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Replacement-policy counter snapshot (ghost hits, scan cost, …).
+    pub fn policy_stats(&self) -> turbopool_bufpool::PolicyStats {
+        self.pool.policy_stats()
     }
 
     /// Validate that a page reference points inside the database file.

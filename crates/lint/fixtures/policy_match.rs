@@ -1,0 +1,48 @@
+// Fixture: L12 policy-match violations.
+
+enum ReplacementKind {
+    Lru2,
+    Clock,
+    Sieve,
+    LruK { k: usize },
+    Ghost,
+}
+
+enum AdmissionKind {
+    DesignDefault,
+    AdmitAll,
+    GhostHit,
+}
+
+fn bad_wildcard(replacement: ReplacementKind) -> u8 {
+    match replacement {
+        ReplacementKind::Lru2 => 1,
+        _ => 0, // should fire: wildcard arm hides new policies
+    }
+}
+
+fn bad_missing(admission: AdmissionKind) -> u8 {
+    // should fire: GhostHit not named
+    match admission {
+        AdmissionKind::DesignDefault => 1,
+        AdmissionKind::AdmitAll => 2,
+    }
+}
+
+fn good_exhaustive(replacement: ReplacementKind) -> usize {
+    match replacement {
+        ReplacementKind::Lru2 => 1,
+        ReplacementKind::Clock => 2,
+        ReplacementKind::Sieve => 3,
+        ReplacementKind::LruK { k } => k,
+        ReplacementKind::Ghost => 5,
+    }
+}
+
+fn good_tuple_table(admission: AdmissionKind, x: u8) -> u8 {
+    // Tuple scrutinees are transition tables: exempt by design.
+    match (admission, x) {
+        (AdmissionKind::GhostHit, 0) => 1,
+        _ => 0,
+    }
+}

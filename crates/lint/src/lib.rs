@@ -29,6 +29,11 @@
 //!   storage errors feed the graceful-degradation machinery (retry,
 //!   quarantine, WAL salvage) and silently dropping one loses data.
 //!   Justify exceptions with a `// lint: allow(io-error)` comment.
+//! * **L12 `policy-match`** — the same exhaustiveness contract as L4 for
+//!   the buffer-policy enums: a `match` over a plain `replacement`
+//!   (`ReplacementKind`) or `admission` (`AdmissionKind`) scrutinee must
+//!   name every variant and use no `_` arm, so a newly added policy
+//!   cannot be silently funneled into some default behavior.
 //!
 //! On top of the per-line rules, a token-stream call graph ([`graph`])
 //! powers the interprocedural rules:
@@ -75,6 +80,7 @@ pub enum Rule {
     Panic,
     LockOrder,
     DesignMatch,
+    PolicyMatch,
     Unsafe,
     IoError,
     ThreadSpawn,
@@ -92,6 +98,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::LockOrder => "lock-order",
             Rule::DesignMatch => "design-match",
+            Rule::PolicyMatch => "policy-match",
             Rule::Unsafe => "unsafe",
             Rule::IoError => "io-error",
             Rule::ThreadSpawn => "thread-spawn",
@@ -573,6 +580,7 @@ fn scan_with(cfg: &Config, g: &Graph, rel: &Path, p: &Prepared) -> Vec<Finding> 
     }
     rule_lock_order(cfg, p, rel, &mut out);
     rule_design_match(p, rel, &mut out);
+    rule_policy_match(p, rel, &mut out);
     rule_unsafe(p, rel, &mut out);
     rule_thread_spawn(p, rel, &rel_str, &mut out);
     rule_determinism(g, p, rel, &rel_str, is_fixture, &mut out);
@@ -1095,6 +1103,56 @@ fn parse_drop(stmt: &str) -> Option<String> {
 const DESIGNS: &[&str] = &["CleanWrite", "DualWrite", "LazyCleaning", "Tac"];
 
 fn rule_design_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    rule_enum_match(
+        p,
+        rel,
+        out,
+        Rule::DesignMatch,
+        &["design"],
+        DESIGNS,
+        "SsdDesign",
+    );
+}
+
+// ---------------------------------------------------------------- L12 ---
+
+const REPLACEMENTS: &[&str] = &["Lru2", "Clock", "Sieve", "LruK", "Ghost"];
+const ADMISSIONS: &[&str] = &["DesignDefault", "AdmitAll", "GhostHit"];
+
+fn rule_policy_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
+    rule_enum_match(
+        p,
+        rel,
+        out,
+        Rule::PolicyMatch,
+        &["replacement"],
+        REPLACEMENTS,
+        "ReplacementKind",
+    );
+    rule_enum_match(
+        p,
+        rel,
+        out,
+        Rule::PolicyMatch,
+        &["admission"],
+        ADMISSIONS,
+        "AdmissionKind",
+    );
+}
+
+/// Shared engine for L4/L12: a `match` whose plain scrutinee is (or ends
+/// in) one of `suffixes` must name every entry of `variants` and carry no
+/// `_` arm. Tuple scrutinees are exempt: those are transition tables,
+/// exhaustive per-row.
+fn rule_enum_match(
+    p: &Prepared,
+    rel: &Path,
+    out: &mut Vec<Finding>,
+    rule: Rule,
+    suffixes: &[&str],
+    variants: &[&str],
+    enum_name: &str,
+) {
     // Flatten to one string with line markers for cross-line matches.
     let joined: Vec<(usize, &str)> = p
         .code
@@ -1127,10 +1185,12 @@ fn rule_design_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
             }
             let Some((bl, bc)) = body_start else { continue };
             let s = scrutinee.trim();
-            // Plain design scrutinee only: tuples are transition tables.
-            let is_design = !s.starts_with('(')
-                && (s == "design" || s.ends_with(".design") || s.ends_with(" design"));
-            if !is_design {
+            // Plain scrutinee only: tuples are transition tables.
+            let hit = !s.starts_with('(')
+                && suffixes.iter().any(|suf| {
+                    s == *suf || s.ends_with(&format!(".{suf}")) || s.ends_with(&format!(" {suf}"))
+                });
+            if !hit {
                 continue;
             }
             // Walk the match body to its closing brace.
@@ -1168,7 +1228,7 @@ fn rule_design_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
                 l += 1;
                 c = 0;
             }
-            let missing: Vec<&str> = DESIGNS
+            let missing: Vec<&str> = variants
                 .iter()
                 .filter(|d| !body.contains(*d))
                 .copied()
@@ -1180,11 +1240,11 @@ fn rule_design_match(p: &Prepared, rel: &Path, out: &mut Vec<Finding>) {
                     format!("does not name {missing:?}")
                 };
                 out.push(Finding {
-                    rule: Rule::DesignMatch,
+                    rule,
                     file: rel.to_path_buf(),
                     line: ln + 1,
                     message: format!(
-                        "`match` over SsdDesign {what} — all four designs must be handled \
+                        "`match` over {enum_name} {what} — every variant must be handled \
                          explicitly so adding one is a compile-surface event"
                     ),
                 });
@@ -1330,10 +1390,17 @@ fn rule_determinism(
             return;
         }
         // `let v = x.keys().collect(); ... v.sort..` shortly after.
+        // `v.select_nth..` qualifies too: selecting the k-th order
+        // statistic is order-insensitive (same element whatever the
+        // iteration order that filled `v`).
         if let Some(binding) = parse_let_binding(stmt.trim_start()) {
             let sort_pat = format!("{binding}.sort");
+            let nth_pat = format!("{binding}.select_nth");
             let horizon = (ln + 1)..(ln + 16).min(p.code.len());
-            if horizon.clone().any(|l| p.code[l].contains(&sort_pat)) {
+            if horizon
+                .clone()
+                .any(|l| p.code[l].contains(&sort_pat) || p.code[l].contains(&nth_pat))
+            {
                 return;
             }
         }
@@ -1781,6 +1848,29 @@ mod tests {
         assert!(scan("crates/core/src/y.rs", tuple)
             .iter()
             .all(|f| f.rule != Rule::DesignMatch));
+    }
+
+    #[test]
+    fn policy_match_requires_all_variants() {
+        let bad = "fn f(&self) { match self.cfg.replacement {\n ReplacementKind::Lru2 => 1,\n _ => 2,\n }; }\n";
+        let f = scan("crates/bufpool/src/y.rs", bad);
+        assert!(f.iter().any(|f| f.rule == Rule::PolicyMatch), "{f:?}");
+        let good = "fn f(&self) { match self.cfg.replacement {\n ReplacementKind::Lru2 => 1,\n ReplacementKind::Clock => 2,\n ReplacementKind::Sieve => 3,\n ReplacementKind::LruK { k } => k,\n ReplacementKind::Ghost => 5,\n }; }\n";
+        assert!(scan("crates/bufpool/src/y.rs", good)
+            .iter()
+            .all(|f| f.rule != Rule::PolicyMatch));
+        let bad_adm = "fn f(&self) { match self.cfg.admission {\n AdmissionKind::DesignDefault => 1,\n AdmissionKind::AdmitAll => 2,\n }; }\n";
+        let f = scan("crates/core/src/y.rs", bad_adm);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::PolicyMatch && f.message.contains("GhostHit")),
+            "{f:?}"
+        );
+        // Other scrutinees that merely *contain* the word are exempt.
+        let unrelated = "fn f(v: AdmitVerdict) { match verdict {\n AdmitVerdict::Admit => 1,\n _ => 2,\n }; }\n";
+        assert!(scan("crates/core/src/y.rs", unrelated)
+            .iter()
+            .all(|f| f.rule != Rule::PolicyMatch));
     }
 
     #[test]

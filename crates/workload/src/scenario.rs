@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use turbopool_bufpool::{AdmissionKind, ReplacementKind};
 use turbopool_core::{MultiPageMode, SsdConfig, SsdDesign};
 use turbopool_engine::{Database, DbConfig};
 use turbopool_iosim::DeviceSetup;
@@ -100,6 +101,10 @@ pub struct SystemSpec {
     /// Warm-restart extension: persist/re-adopt the SSD buffer table
     /// across restarts (off in the paper).
     pub warm_restart: bool,
+    /// DRAM replacement policy (the paper's LRU-2 by default).
+    pub replacement: ReplacementKind,
+    /// SSD admission policy (the paper's per-design rule by default).
+    pub admission: AdmissionKind,
     /// Deterministic seed for the workload RNG streams.
     pub seed: u64,
 }
@@ -118,6 +123,8 @@ impl SystemSpec {
             partitions: 16,
             multipage: MultiPageMode::Trim,
             warm_restart: false,
+            replacement: ReplacementKind::Lru2,
+            admission: AdmissionKind::DesignDefault,
             seed: 0x5EED,
         }
     }
@@ -126,6 +133,7 @@ impl SystemSpec {
 /// Open a database configured per `spec` over time-scaled paper devices.
 pub fn build_db(spec: &SystemSpec) -> Arc<Database> {
     let mut cfg = DbConfig::new(PAGE_SIZE, spec.db_pages, spec.mem_frames);
+    cfg.replacement = spec.replacement;
     cfg.ssd = spec.design.ssd_design().map(|d| {
         let mut s = SsdConfig::new(d, spec.ssd_frames);
         s.lambda = spec.lambda;
@@ -134,6 +142,7 @@ pub fn build_db(spec: &SystemSpec) -> Arc<Database> {
         s.partitions = spec.partitions;
         s.multipage = spec.multipage;
         s.warm_restart = spec.warm_restart;
+        s.admission = spec.admission;
         s
     });
     cfg.devices = Some(DeviceSetup::paper_time_scaled(

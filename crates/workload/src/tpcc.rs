@@ -143,10 +143,34 @@ impl Tpcc {
     /// order tables (long runs on tiny, fully-cached databases need more
     /// headroom than the paper-proportioned default).
     pub fn setup_opt(design: Design, sw: u64, lambda: f64, growth: u64) -> Tpcc {
+        Self::setup_opt_tweak(design, sw, lambda, growth, |_| {})
+    }
+
+    /// Like [`Tpcc::setup`] with a hook that edits the [`SystemSpec`]
+    /// before the database opens (replacement/admission policy overrides
+    /// for the policy-arena bench, alternative τ/μ, …).
+    pub fn setup_tweak(
+        design: Design,
+        sw: u64,
+        lambda: f64,
+        tweak: impl FnOnce(&mut SystemSpec),
+    ) -> Tpcc {
+        Self::setup_opt_tweak(design, sw, lambda, GROWTH, tweak)
+    }
+
+    /// [`Tpcc::setup_tweak`] with an explicit growth-headroom factor.
+    pub fn setup_opt_tweak(
+        design: Design,
+        sw: u64,
+        lambda: f64,
+        growth: u64,
+        tweak: impl FnOnce(&mut SystemSpec),
+    ) -> Tpcc {
         let growth = growth.max(1);
         let page_size = crate::scenario::PAGE_SIZE;
         let mut spec = SystemSpec::paper(design, Self::db_pages_opt(sw, page_size, growth));
         spec.lambda = lambda;
+        tweak(&mut spec);
         let db = build_db(&spec);
         let mut clk = Clk::new();
         let p = |rows, rec| pages_for(rows, rec, page_size);

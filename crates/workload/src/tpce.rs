@@ -97,9 +97,22 @@ impl Tpce {
     /// Build and bulk-load a TPC-E database of `customers` scaled
     /// customers.
     pub fn setup(design: Design, customers: u64, lambda: f64) -> Tpce {
+        Self::setup_tweak(design, customers, lambda, |_| {})
+    }
+
+    /// Like [`Tpce::setup`] with a hook that edits the [`SystemSpec`]
+    /// before the database opens (replacement/admission policy overrides
+    /// for the policy-arena bench).
+    pub fn setup_tweak(
+        design: Design,
+        customers: u64,
+        lambda: f64,
+        tweak: impl FnOnce(&mut SystemSpec),
+    ) -> Tpce {
         let page_size = crate::scenario::PAGE_SIZE;
         let mut spec = SystemSpec::paper(design, Self::db_pages(customers, page_size));
         spec.lambda = lambda;
+        tweak(&mut spec);
         let db = build_db(&spec);
         let mut clk = Clk::new();
         let accts = customers * ACCTS_PER_CUST;

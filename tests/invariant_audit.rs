@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use turbopool::bufpool::PageIo;
+use turbopool::bufpool::{AdmissionKind, PageIo, ReplacementKind};
 use turbopool::core::tac::TacCache;
 use turbopool::core::{SsdConfig, SsdDesign, SsdManager};
 use turbopool::engine::{Database, DbConfig};
@@ -168,5 +168,77 @@ fn engine_workload_reports_zero_audit_violations() {
             snap.audit_violations, 0,
             "{design:?}: engine workload tripped the auditor"
         );
+    }
+}
+
+#[test]
+fn every_policy_combination_keeps_the_auditor_clean() {
+    // The replacement/admission traits must uphold the same buffer-table
+    // state machine the defaults do: run the engine workload under every
+    // non-default replacement × admission pair on every design. Smaller
+    // op count than the default-path test — the grid is 4×2×4 cells.
+    let replacements = [
+        ReplacementKind::Clock,
+        ReplacementKind::Sieve,
+        ReplacementKind::LruK { k: 3 },
+        ReplacementKind::Ghost,
+    ];
+    let admissions = [AdmissionKind::AdmitAll, AdmissionKind::GhostHit];
+    for &replacement in &replacements {
+        for &admission in &admissions {
+            for design in [
+                SsdDesign::CleanWrite,
+                SsdDesign::DualWrite,
+                SsdDesign::LazyCleaning,
+                SsdDesign::Tac,
+            ] {
+                let mut cfg = DbConfig::small_for_tests();
+                cfg.db_pages = 2048;
+                cfg.mem_frames = 24;
+                cfg.replacement = replacement;
+                cfg.ssd = Some({
+                    let mut s = SsdConfig::new(design, 96);
+                    s.partitions = 4;
+                    s.lambda = 0.3;
+                    s.admission = admission;
+                    s
+                });
+                let db = Database::open(cfg);
+                let mut clk = Clk::new();
+                let h = db.create_heap(&mut clk, "t", 32, 256);
+                let mut rng = SmallRng::seed_from_u64(0x90_11C7);
+                let mut rids: Vec<u64> = Vec::new();
+                for i in 0..250usize {
+                    let mut txn = db.begin(&mut clk);
+                    match rng.gen_range(0u32..10) {
+                        0..=5 => {
+                            if let Ok(rid) = txn.heap_insert(h, &[5u8; 32]) {
+                                rids.push(rid);
+                            }
+                        }
+                        6..=8 if !rids.is_empty() => {
+                            let rid = rids[rng.gen_range(0..rids.len())];
+                            let mut rec = txn.heap_get(h, rid).unwrap();
+                            rec[0] = rec[0].wrapping_add(1);
+                            txn.heap_update(h, rid, &rec);
+                        }
+                        _ => {
+                            txn.commit();
+                            db.scan_heap(&mut clk, h, |_, _| {}).unwrap();
+                            continue;
+                        }
+                    }
+                    txn.commit();
+                    if i % 83 == 82 {
+                        db.checkpoint(&mut clk);
+                    }
+                }
+                let snap = db.ssd_metrics().expect("SSD configured");
+                assert_eq!(
+                    snap.audit_violations, 0,
+                    "{design:?} {replacement:?} {admission:?}: auditor tripped"
+                );
+            }
+        }
     }
 }
