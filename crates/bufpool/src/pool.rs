@@ -1,13 +1,24 @@
 //! The buffer pool proper: frames, hash table, pluggable replacement, guards.
+//!
+//! Since ISSUE 9 the pool is *lock-striped*: the page table, frame
+//! metadata, free list, and replacement policy are split into N shards,
+//! each behind its own latch, with shard assignment a pure function of
+//! the page id ([`shard_of`]). Data slots are partitioned contiguously
+//! (shard i owns global slots `base[i] .. base[i] + len[i]`), cross-shard
+//! totals are folded in shard order, and `shards = 1` reproduces the
+//! historical single-latch pool bit-for-bit (gated by
+//! `tests/policy_default_regression.rs`).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use turbopool_iosim::sync::{Mutex, RwLock};
-use turbopool_iosim::{Clk, IoError, Locality, PageBuf, PageId, Time};
+use turbopool_iosim::sync::{Mutex, MutexGuard, RwLock};
+use turbopool_iosim::{Clk, IoError, Locality, PageBuf, PageBufPool, PageId, Time};
 
 use crate::policy::{PolicyStats, ReplacementKind, ReplacementPolicy};
 use crate::readahead::{Classifier, ClassifierKind, ClassifierStats};
+use crate::shard::{shard_of, ShardCount};
 use crate::traits::PageIo;
 
 /// Buffer pool sizing and behaviour knobs.
@@ -29,6 +40,16 @@ pub struct BufferPoolConfig {
     /// Which replacement policy picks eviction victims (LRU-2 is the
     /// paper's choice and the regression-gated default).
     pub replacement: ReplacementKind,
+    /// Lock stripes for the page table (`Auto` resolves from
+    /// [`shard_hint`](Self::shard_hint); `Fixed(1)` = the legacy single
+    /// latch).
+    pub shards: ShardCount,
+    /// Parallelism hint consulted by [`ShardCount::Auto`]. Defaults to 1
+    /// so that default-configured pools keep the legacy layout on every
+    /// machine — sharding must be opted into by configuration, never
+    /// inferred from host core count (see `crate::shard` determinism
+    /// note).
+    pub shard_hint: usize,
 }
 
 impl BufferPoolConfig {
@@ -40,6 +61,8 @@ impl BufferPoolConfig {
             fill_expansion: 8,
             classifier: ClassifierKind::ReadAhead,
             replacement: ReplacementKind::Lru2,
+            shards: ShardCount::Auto,
+            shard_hint: 1,
         }
     }
 }
@@ -54,6 +77,15 @@ pub struct PoolStats {
     pub prefetched_pages: u64,
     pub expanded_fill_pages: u64,
     pub checkpoint_writes: u64,
+    /// Shard-latch acquisitions (every `lock_shard`, all shards summed).
+    /// Deterministic in driver runs — a pure function of the operation
+    /// sequence — so it participates safely in replay equality checks.
+    pub shard_acquisitions: u64,
+    /// Shard-latch acquisitions that found the latch held by another OS
+    /// thread. Always 0 in deterministic driver runs (domains are
+    /// share-nothing); nonzero only under the real-thread contention
+    /// benches.
+    pub shard_contended: u64,
 }
 
 impl PoolStats {
@@ -64,6 +96,15 @@ impl PoolStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of shard-latch acquisitions that were contended.
+    pub fn contended_share(&self) -> f64 {
+        if self.shard_acquisitions == 0 {
+            0.0
+        } else {
+            self.shard_contended as f64 / self.shard_acquisitions as f64
         }
     }
 }
@@ -87,9 +128,10 @@ impl FrameMeta {
     }
 }
 
-/// An eviction decided under the pool latch whose write-behind I/O is
+/// An eviction decided under a shard latch whose write-behind I/O is
 /// still owed. The slot is privately owned by the holder until new data
 /// is installed, so the victim's bytes survive in the frame meanwhile.
+/// `slot` is the *global* data-slot index.
 #[derive(Clone, Copy, Debug)]
 struct PendingEvict {
     slot: usize,
@@ -98,26 +140,91 @@ struct PendingEvict {
     class: Locality,
 }
 
-struct Inner {
+/// Sentinel for the intrusive dirty-list links.
+const NIL: usize = usize::MAX;
+
+/// One lock stripe: a slice of the page table with its own free list,
+/// replacement policy, counters, and intrusive dirty list. All slot
+/// indices inside a shard are *local* (`0 .. meta.len()`); the owning
+/// pool maps them to global data slots by adding the shard's base.
+struct Shard {
     map: HashMap<PageId, usize>,
     meta: Vec<FrameMeta>,
     free: Vec<usize>,
     /// Victim selection + access bookkeeping, behind the policy trait.
-    /// The default [`ReplacementKind::Lru2`] reproduces the pre-trait
-    /// hardwired LRU-2 bit-for-bit (see `tests/policy_default_regression`).
+    /// Each shard owns its own instance (sized to the shard's frames), so
+    /// victim selection never crosses a shard boundary. The default
+    /// [`ReplacementKind::Lru2`] reproduces the pre-trait hardwired LRU-2
+    /// bit-for-bit at `shards = 1` (see `tests/policy_default_regression`).
     policy: Box<dyn ReplacementPolicy>,
     filled_once: bool,
     stats: PoolStats,
-    classifier: Classifier,
+    /// Intrusive doubly-linked list of dirty frames (local indices), so
+    /// checkpoints and `dirty_count` never scan the whole frame table.
+    /// Invariant: `meta[l].dirty` ⟺ `l` is linked ⟺ counted in `ndirty`.
+    dprev: Vec<usize>,
+    dnext: Vec<usize>,
+    dhead: usize,
+    dtail: usize,
+    ndirty: usize,
 }
 
-impl Inner {
-    /// Obtain a free slot, selecting and detaching the policy's victim if
-    /// necessary — pure bookkeeping, no I/O, so it runs entirely under
-    /// the pool latch. When a page is evicted the caller receives a
-    /// [`PendingEvict`] and must hand the frame's bytes to the storage
-    /// layer (after releasing the pool latch) *before* overwriting the
-    /// frame, since the slot still holds the victim's data.
+impl Shard {
+    fn new(frames: usize, replacement: ReplacementKind) -> Self {
+        Shard {
+            map: HashMap::with_capacity(frames),
+            meta: vec![FrameMeta::empty(); frames],
+            free: (0..frames).rev().collect(),
+            policy: replacement.build(frames),
+            filled_once: false,
+            stats: PoolStats::default(),
+            dprev: vec![NIL; frames],
+            dnext: vec![NIL; frames],
+            dhead: NIL,
+            dtail: NIL,
+            ndirty: 0,
+        }
+    }
+
+    /// Append local slot `l` to the dirty list (must not be linked).
+    fn link_dirty(&mut self, l: usize) {
+        debug_assert!(self.dprev[l] == NIL && self.dnext[l] == NIL && self.dhead != l);
+        self.dprev[l] = self.dtail;
+        self.dnext[l] = NIL;
+        if self.dtail == NIL {
+            self.dhead = l;
+        } else {
+            self.dnext[self.dtail] = l;
+        }
+        self.dtail = l;
+        self.ndirty += 1;
+    }
+
+    /// Unlink local slot `l` from the dirty list (must be linked).
+    fn unlink_dirty(&mut self, l: usize) {
+        let (p, n) = (self.dprev[l], self.dnext[l]);
+        if p == NIL {
+            self.dhead = n;
+        } else {
+            self.dnext[p] = n;
+        }
+        if n == NIL {
+            self.dtail = p;
+        } else {
+            self.dprev[n] = p;
+        }
+        self.dprev[l] = NIL;
+        self.dnext[l] = NIL;
+        self.ndirty -= 1;
+    }
+
+    /// Obtain a free local slot, selecting and detaching the policy's
+    /// victim if necessary — pure bookkeeping, no I/O, so it runs
+    /// entirely under the shard latch. When a page is evicted the caller
+    /// receives a [`PendingEvict`] (with the slot still *local*; the
+    /// pool rebases it) and must hand the frame's bytes to the storage
+    /// layer (after releasing the latch) *before* overwriting the frame,
+    /// since the slot still holds the victim's data.
     fn vacate_slot(&mut self) -> (usize, Option<PendingEvict>) {
         if let Some(slot) = self.free.pop() {
             return (slot, None);
@@ -137,6 +244,7 @@ impl Inner {
         self.policy.on_evict(slot, victim);
         if m.dirty {
             self.stats.evictions_dirty += 1;
+            self.unlink_dirty(slot);
         } else {
             self.stats.evictions_clean += 1;
         }
@@ -153,32 +261,66 @@ impl Inner {
     }
 }
 
+/// Per-shard latch counters, kept *outside* the latch so counting a
+/// contended acquisition never itself takes the latch.
+#[derive(Default)]
+struct LockCounters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
 /// The main-memory buffer pool.
 ///
 /// Thread-safe for the discrete-event usage pattern of this workspace (one
-/// logical client active at a time, many logical clients interleaved).
+/// logical client active at a time per domain, many logical clients
+/// interleaved) *and* for real-thread access: shards are independent
+/// latches, so threads touching different shards never serialize.
 pub struct BufferPool {
     cfg: BufferPoolConfig,
     layer: Arc<dyn PageIo>,
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Shard>>,
+    /// Global data-slot base of each shard (contiguous partition).
+    bases: Vec<usize>,
+    nshards: usize,
+    /// Random/sequential classification is shared: sequential-run
+    /// detection must observe the global access stream, which spans
+    /// shards. Its latch nests *inside* a shard latch (`classifier` after
+    /// `shards` in `lock_order.toml`) and is a leaf.
+    classifier: Mutex<Classifier>,
+    locks: Vec<LockCounters>,
+    /// Recycled page-sized staging buffers for checkpoint copy-out and
+    /// prefetch victim snapshots (zero-allocation steady state).
+    bufs: PageBufPool,
     data: Vec<RwLock<PageBuf>>,
 }
 
 impl BufferPool {
     pub fn new(cfg: BufferPoolConfig, layer: Arc<dyn PageIo>) -> Self {
         assert!(cfg.frames > 0, "pool needs at least one frame");
+        let nshards = cfg.shards.resolve(cfg.shard_hint, cfg.frames);
+        let mut shards = Vec::with_capacity(nshards);
+        let mut bases = Vec::with_capacity(nshards);
+        let mut base = 0usize;
+        for i in 0..nshards {
+            // Contiguous split: the first `frames % nshards` shards take
+            // one extra frame.
+            let count = cfg.frames / nshards + usize::from(i < cfg.frames % nshards);
+            bases.push(base);
+            base += count;
+            shards.push(Mutex::new(Shard::new(count, cfg.replacement)));
+        }
+        debug_assert_eq!(base, cfg.frames);
         let mut data = Vec::with_capacity(cfg.frames);
         data.resize_with(cfg.frames, || RwLock::new(PageBuf::zeroed(cfg.page_size)));
+        let mut locks = Vec::with_capacity(nshards);
+        locks.resize_with(nshards, LockCounters::default);
         BufferPool {
-            inner: Mutex::new(Inner {
-                map: HashMap::with_capacity(cfg.frames),
-                meta: vec![FrameMeta::empty(); cfg.frames],
-                free: (0..cfg.frames).rev().collect(),
-                policy: cfg.replacement.build(cfg.frames),
-                filled_once: false,
-                stats: PoolStats::default(),
-                classifier: Classifier::new(cfg.classifier),
-            }),
+            classifier: Mutex::new(Classifier::new(cfg.classifier)),
+            locks,
+            bufs: PageBufPool::new(cfg.page_size, 8),
+            shards,
+            bases,
+            nshards,
             data,
             cfg,
             layer,
@@ -187,6 +329,29 @@ impl BufferPool {
 
     pub fn config(&self) -> &BufferPoolConfig {
         &self.cfg
+    }
+
+    /// Resolved shard count (for benches/tests).
+    pub fn shard_count(&self) -> usize {
+        self.nshards
+    }
+
+    /// Which shard owns `pid` — a pure function of the page id.
+    #[inline]
+    fn shard_idx(&self, pid: PageId) -> usize {
+        shard_of(pid.0, self.nshards)
+    }
+
+    /// Acquire shard `i`'s latch, counting the acquisition and whether it
+    /// was contended (latch held by another OS thread at that instant).
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        let c = &self.locks[i];
+        c.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(g) = self.shards[i].try_lock() {
+            return g;
+        }
+        c.contended.fetch_add(1, Ordering::Relaxed);
+        self.shards[i].lock()
     }
 
     /// Pin page `pid`, reading it from below on a miss. `declared` is the
@@ -204,49 +369,59 @@ impl BufferPool {
         declared: Locality,
     ) -> Result<PageGuard<'_>, IoError> {
         debug_assert!(pid.0 < self.cfg.db_pages, "page {pid} beyond database");
-        let mut inner = self.inner.lock();
-        if let Some(&slot) = inner.map.get(&pid) {
-            inner.meta[slot].pin += 1;
-            inner.policy.on_access(slot);
-            inner.stats.hits += 1;
-            // A hit still teaches the proximity classifier the access
-            // pattern it would have observed at the I/O layer.
-            inner.classifier.observe_hit(pid);
+        let shard = self.shard_idx(pid);
+        let mut sh = self.lock_shard(shard);
+        if let Some(&l) = sh.map.get(&pid) {
+            sh.meta[l].pin += 1;
+            sh.policy.on_access(l);
+            sh.stats.hits += 1;
+            // Hits deliberately do NOT touch the shared classifier:
+            // `Classifier::observe_hit` is a no-op for every kind (the
+            // proximity window learns from I/O-layer traffic only), and
+            // taking its global latch here would re-serialize the hit
+            // path that sharding just spread out.
             return Ok(PageGuard {
                 pool: self,
-                slot,
+                shard,
+                local: l,
+                slot: self.bases[shard] + l,
                 pid,
             });
         }
-        inner.stats.misses += 1;
-        let assigned = inner.classifier.classify_miss(pid, declared);
+        sh.stats.misses += 1;
+        let assigned = self.classifier.lock().classify_miss(pid, declared);
 
-        // Pool-fill expansion: while the pool has never been full, a miss
-        // fetches a run instead of one page.
-        let expand = if !inner.filled_once && self.cfg.fill_expansion > 1 {
+        // Pool-fill expansion: while this shard has never been full, a
+        // miss fetches a run instead of one page. The clamp uses the
+        // triggering shard's free count (at `shards = 1` exactly the
+        // historical whole-pool clamp); expansion pages land in their own
+        // shards' free frames.
+        let expand = if !sh.filled_once && self.cfg.fill_expansion > 1 {
             let run = self
                 .cfg
                 .fill_expansion
                 .min(self.cfg.db_pages - pid.0)
-                .min(inner.free.len() as u64 + 1);
+                .min(sh.free.len() as u64 + 1);
             run.max(1)
         } else {
             1
         };
 
-        let (slot, evicted) = inner.vacate_slot();
-        inner.meta[slot] = FrameMeta {
+        let (local, evicted) = sh.vacate_slot();
+        let slot = self.bases[shard] + local;
+        sh.meta[local] = FrameMeta {
             pid: Some(pid),
             dirty: false,
             pin: 1,
             class: assigned,
         };
-        inner.map.insert(pid, slot);
-        inner.policy.on_install(slot, pid);
-        drop(inner);
-        // Write-behind for the victim happens outside the pool latch but
+        sh.map.insert(pid, local);
+        sh.policy.on_install(local, pid);
+        drop(sh);
+        // Write-behind for the victim happens outside the shard latch but
         // before any read fills the frame, preserving per-thread I/O order.
-        if let Some(ev) = evicted {
+        if let Some(mut ev) = evicted {
+            ev.slot += self.bases[shard];
             self.flush_evicted(clk.now, &ev);
         }
 
@@ -254,19 +429,27 @@ impl BufferPool {
             let pages = match self.layer.read_run(clk, pid, expand) {
                 Ok(pages) => pages,
                 Err(e) => {
-                    self.abandon_install(slot, pid);
+                    self.abandon_install(shard, local, pid);
                     return Err(e);
                 }
             };
             self.data[slot].write().copy_from(pages[0].as_slice());
-            let mut inner = self.inner.lock();
             for (i, page) in pages.into_iter().enumerate().skip(1) {
                 let extra = pid.offset(i as u64);
-                if inner.map.contains_key(&extra) {
+                let es = self.shard_idx(extra);
+                let mut sh = self.lock_shard(es);
+                if sh.map.contains_key(&extra) {
                     continue;
                 }
-                let Some(s) = inner.free.pop() else { break };
-                inner.meta[s] = FrameMeta {
+                // A full shard takes no expansion page; other shards may
+                // still have room (at `shards = 1` this is equivalent to
+                // the historical `break`, since every later pop would
+                // also fail).
+                let Some(l) = sh.free.pop() else {
+                    sh.filled_once = true;
+                    continue;
+                };
+                sh.meta[l] = FrameMeta {
                     pid: Some(extra),
                     dirty: false,
                     pin: 0,
@@ -275,29 +458,39 @@ impl BufferPool {
                     // triggering request.
                     class: Locality::Random,
                 };
-                inner.map.insert(extra, s);
-                inner.policy.on_install(s, extra);
-                inner.stats.expanded_fill_pages += 1;
-                self.data[s].write().copy_from(page.as_slice());
+                sh.map.insert(extra, l);
+                sh.policy.on_install(l, extra);
+                sh.stats.expanded_fill_pages += 1;
+                self.data[self.bases[es] + l]
+                    .write()
+                    .copy_from(page.as_slice());
+                if sh.free.is_empty() {
+                    sh.filled_once = true;
+                }
             }
-            if inner.free.is_empty() {
-                inner.filled_once = true;
+            // The triggering page itself may have consumed its shard's
+            // last free frame (the historical post-loop check).
+            let mut sh = self.lock_shard(shard);
+            if sh.free.is_empty() {
+                sh.filled_once = true;
             }
         } else {
             let mut buf = self.data[slot].write();
             // lint: allow(lock-across-io) — frame write latch only, held so
-            // the fill lands atomically; the pool latch is already released
+            // the fill lands atomically; the shard latch is already released
             // and the frame is pinned by this caller.
             let read = self.layer.read_page(clk, pid, assigned, buf.as_mut_slice());
             drop(buf);
             if let Err(e) = read {
-                self.abandon_install(slot, pid);
+                self.abandon_install(shard, local, pid);
                 return Err(e);
             }
         }
 
         Ok(PageGuard {
             pool: self,
+            shard,
+            local,
             slot,
             pid,
         })
@@ -306,41 +499,47 @@ impl BufferPool {
     /// Back out a miss installation whose read from below failed: the map
     /// entry, frame metadata, and replacement state all revert, returning
     /// the slot to the free list.
-    fn abandon_install(&self, slot: usize, pid: PageId) {
-        let mut inner = self.inner.lock();
-        debug_assert_eq!(inner.meta[slot].pid, Some(pid));
-        inner.map.remove(&pid);
-        inner.meta[slot] = FrameMeta::empty();
-        inner.policy.on_remove(slot, pid);
-        inner.free.push(slot);
+    fn abandon_install(&self, shard: usize, local: usize, pid: PageId) {
+        let mut sh = self.lock_shard(shard);
+        debug_assert_eq!(sh.meta[local].pid, Some(pid));
+        sh.map.remove(&pid);
+        sh.meta[local] = FrameMeta::empty();
+        sh.policy.on_remove(local, pid);
+        sh.free.push(local);
     }
 
     /// Pin a *fresh* page that has never been written: installs a zeroed,
     /// dirty frame without any read I/O (page allocation path).
     pub fn create(&self, now: Time, pid: PageId) -> PageGuard<'_> {
         debug_assert!(pid.0 < self.cfg.db_pages, "page {pid} beyond database");
-        let mut inner = self.inner.lock();
+        let shard = self.shard_idx(pid);
+        let mut sh = self.lock_shard(shard);
         assert!(
-            !inner.map.contains_key(&pid),
+            !sh.map.contains_key(&pid),
             "create() of resident page {pid}"
         );
-        let (slot, evicted) = inner.vacate_slot();
-        inner.meta[slot] = FrameMeta {
+        let (local, evicted) = sh.vacate_slot();
+        let slot = self.bases[shard] + local;
+        sh.meta[local] = FrameMeta {
             pid: Some(pid),
             dirty: true,
             pin: 1,
             class: Locality::Random,
         };
-        inner.map.insert(pid, slot);
-        inner.policy.on_install(slot, pid);
-        drop(inner);
-        if let Some(ev) = evicted {
+        sh.link_dirty(local);
+        sh.map.insert(pid, local);
+        sh.policy.on_install(local, pid);
+        drop(sh);
+        if let Some(mut ev) = evicted {
+            ev.slot += self.bases[shard];
             self.flush_evicted(now, &ev);
         }
         self.layer.note_dirtied(now, pid);
         self.data[slot].write().as_mut_slice().fill(0);
         PageGuard {
             pool: self,
+            shard,
+            local,
             slot,
             pid,
         }
@@ -356,40 +555,43 @@ impl BufferPool {
         // A failed read-ahead installs nothing; the scan that requested it
         // simply falls back to demand reads of the same pages.
         let pages = self.layer.read_run(clk, first, n)?;
-        let mut inner = self.inner.lock();
         // Pages of this run evicted *while installing it*: their entries in
         // `pages` were snapshotted before the eviction wrote newer bytes
         // below, so installing them would resurrect stale data. They are
         // skipped here and re-read (fresh) if the scan reaches them.
         let mut stale: Vec<bool> = vec![false; n as usize];
         // Evictions decided inside the loop owe write-behind I/O that must
-        // not run under the pool latch. The victims' bytes are snapshotted
-        // before their frames are reused and flushed after unlock; every
-        // booking lands at the same virtual instant either way, so the
-        // deferral is invisible to the simulation.
-        let mut owed: Vec<(PendingEvict, PageBuf)> = Vec::new();
+        // not run under a shard latch. The victims' bytes are snapshotted
+        // (into recycled staging buffers) before their frames are reused
+        // and flushed after the loop; every booking lands at the same
+        // virtual instant either way, so the deferral is invisible to the
+        // simulation.
+        let mut owed: Vec<(PendingEvict, Vec<u8>)> = Vec::new();
         for (i, page) in pages.into_iter().enumerate() {
             let pid = first.offset(i as u64);
-            if inner.map.contains_key(&pid) || stale[i] {
+            let es = self.shard_idx(pid);
+            let mut sh = self.lock_shard(es);
+            if sh.map.contains_key(&pid) || stale[i] {
                 continue;
             }
-            let assigned = inner.classifier.classify_prefetch(pid);
-            let (slot, evicted) = inner.vacate_slot();
-            if let Some(ev) = evicted {
+            let assigned = self.classifier.lock().classify_prefetch(pid);
+            let (local, evicted) = sh.vacate_slot();
+            if let Some(mut ev) = evicted {
+                ev.slot += self.bases[es];
                 if ev.victim.0 >= first.0 && ev.victim.0 < first.0 + n {
                     stale[(ev.victim.0 - first.0) as usize] = true;
                 }
-                let mut snap = PageBuf::zeroed(self.cfg.page_size);
-                snap.copy_from(self.data[ev.slot].read().as_slice());
+                let mut snap = self.bufs.take();
+                snap.copy_from_slice(self.data[ev.slot].read().as_slice());
                 owed.push((ev, snap));
             }
-            inner.meta[slot] = FrameMeta {
+            sh.meta[local] = FrameMeta {
                 pid: Some(pid),
                 dirty: false,
                 pin: 0,
                 class: assigned,
             };
-            inner.map.insert(pid, slot);
+            sh.map.insert(pid, local);
             // Double-stamp: install plus one protection access. Under
             // LRU-2 a single touch would leave the page with an empty
             // penultimate stamp, making it the preferred victim — a full
@@ -399,28 +601,30 @@ impl BufferPool {
             // (CLOCK/SIEVE set the reference bit, ARC promotes to
             // protected), matching the read-ahead page protection of a
             // production buffer manager.
-            inner.policy.on_install(slot, pid);
-            inner.policy.on_access(slot);
-            inner.stats.prefetched_pages += 1;
-            self.data[slot].write().copy_from(page.as_slice());
+            sh.policy.on_install(local, pid);
+            sh.policy.on_access(local);
+            sh.stats.prefetched_pages += 1;
+            self.data[self.bases[es] + local]
+                .write()
+                .copy_from(page.as_slice());
         }
-        drop(inner);
         for (ev, snap) in owed {
             self.layer
-                .evict_page(clk.now, ev.victim, snap.as_slice(), ev.dirty, ev.class);
+                .evict_page(clk.now, ev.victim, &snap, ev.dirty, ev.class);
+            self.bufs.put(snap);
         }
         Ok(())
     }
 
     /// Hand an evicted page's bytes to the storage layer (write-behind).
     /// Eviction writes are asynchronous: device time is charged at `now`
-    /// but the caller does not wait. Must be called *without* the pool
+    /// but the caller does not wait. Must be called *without* any shard
     /// latch and *before* the vacated frame is overwritten.
     fn flush_evicted(&self, now: Time, ev: &PendingEvict) {
         let layer = &self.layer;
         let data = self.data[ev.slot].read();
         // lint: allow(lock-across-io) — only the frame's read latch is held
-        // (the pool latch is released); the slot is privately owned by this
+        // (the shard latch is released); the slot is privately owned by this
         // caller and evict_page is a non-blocking async booking.
         layer.evict_page(now, ev.victim, data.as_slice(), ev.dirty, ev.class);
     }
@@ -428,107 +632,142 @@ impl BufferPool {
     /// Sharp checkpoint of the memory pool: write every dirty page below
     /// (asynchronously), wait for the slowest write, then ask the layer to
     /// flush anything *it* holds dirty (the SSD, under LC).
+    ///
+    /// Dirty frames come from each shard's intrusive dirty list (no full
+    /// frame-table scan), collected in shard order and sorted by local
+    /// slot — with contiguous shard bases that is exactly the historical
+    /// ascending-global-slot write order.
     pub fn checkpoint(&self, clk: &mut Clk) {
-        let dirty: Vec<(usize, PageId, Locality)> = {
-            let inner = self.inner.lock();
-            inner
-                .meta
-                .iter()
-                .enumerate()
-                .filter_map(|(slot, m)| {
-                    let pid = m.pid?;
-                    (m.dirty && m.pin == 0).then_some((slot, pid, m.class))
-                })
-                .collect()
-        };
+        let mut dirty: Vec<(usize, usize, PageId, Locality)> = Vec::new();
+        for i in 0..self.nshards {
+            let sh = self.lock_shard(i);
+            let mut locals: Vec<usize> = Vec::with_capacity(sh.ndirty);
+            let mut l = sh.dhead;
+            while l != NIL {
+                if sh.meta[l].pin == 0 {
+                    locals.push(l);
+                }
+                l = sh.dnext[l];
+            }
+            locals.sort_unstable();
+            for l in locals {
+                // lint: allow(panic) — dirty-list members always hold a page.
+                let pid = sh.meta[l].pid.expect("dirty frame has a page");
+                dirty.push((i, l, pid, sh.meta[l].class));
+            }
+        }
         let mut done = clk.now;
-        // Reused copy-out buffer: the frame latch protects only the memcpy,
-        // never the write I/O below it.
-        let mut copy = PageBuf::zeroed(self.cfg.page_size);
-        for (slot, pid, class) in dirty {
+        // Recycled copy-out buffer: the frame latch protects only the
+        // memcpy, never the write I/O below it.
+        let mut copy = self.bufs.lease();
+        for (i, l, pid, class) in dirty {
+            let slot = self.bases[i] + l;
             {
                 let data = self.data[slot].read();
-                copy.copy_from(data.as_slice());
+                copy.as_mut_slice().copy_from_slice(data.as_slice());
             }
             let t = self
                 .layer
                 .checkpoint_write(clk.now, pid, copy.as_slice(), class);
             done = done.max(t);
-            let mut inner = self.inner.lock();
+            let mut sh = self.lock_shard(i);
             // Revalidate: the frame may have been recycled meanwhile.
-            if inner.meta[slot].pid == Some(pid) {
-                inner.meta[slot].dirty = false;
+            if sh.meta[l].pid == Some(pid) && sh.meta[l].dirty {
+                sh.meta[l].dirty = false;
+                sh.unlink_dirty(l);
             }
-            inner.stats.checkpoint_writes += 1;
+            sh.stats.checkpoint_writes += 1;
         }
+        drop(copy);
         clk.wait_until(done);
         self.layer.checkpoint_flush(clk);
     }
 
     /// True if `pid` is resident.
     pub fn contains(&self, pid: PageId) -> bool {
-        self.inner.lock().map.contains_key(&pid)
+        self.lock_shard(self.shard_idx(pid)).map.contains_key(&pid)
     }
 
     /// True if `pid` is resident and dirty.
     pub fn is_dirty(&self, pid: PageId) -> bool {
-        let inner = self.inner.lock();
-        inner
-            .map
-            .get(&pid)
-            .map(|&s| inner.meta[s].dirty)
-            .unwrap_or(false)
+        let sh = self.lock_shard(self.shard_idx(pid));
+        sh.map.get(&pid).map(|&l| sh.meta[l].dirty).unwrap_or(false)
     }
 
-    /// Number of resident pages.
+    /// Number of resident pages (folded in shard order).
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        (0..self.nshards)
+            .map(|i| self.lock_shard(i).map.len())
+            .sum()
     }
 
-    /// Number of dirty resident pages.
+    /// Number of dirty resident pages — O(shards), from the per-shard
+    /// dirty-list counters.
     pub fn dirty_count(&self) -> usize {
-        let inner = self.inner.lock();
-        inner
-            .meta
-            .iter()
-            .filter(|m| m.pid.is_some() && m.dirty)
-            .count()
+        (0..self.nshards).map(|i| self.lock_shard(i).ndirty).sum()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot: per-shard counters folded in shard order, plus
+    /// the latch-contention counters.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        let mut total = PoolStats::default();
+        for i in 0..self.nshards {
+            let s = self.lock_shard(i).stats;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions_clean += s.evictions_clean;
+            total.evictions_dirty += s.evictions_dirty;
+            total.prefetched_pages += s.prefetched_pages;
+            total.expanded_fill_pages += s.expanded_fill_pages;
+            total.checkpoint_writes += s.checkpoint_writes;
+        }
+        for c in &self.locks {
+            total.shard_acquisitions += c.acquisitions.load(Ordering::Relaxed);
+            total.shard_contended += c.contended.load(Ordering::Relaxed);
+        }
+        total
     }
 
-    /// Replacement-policy counter snapshot (ghost hits, scan cost, …).
+    /// Replacement-policy counter snapshot (ghost hits, scan cost, …),
+    /// folded across shards in shard order.
     pub fn policy_stats(&self) -> PolicyStats {
-        self.inner.lock().policy.stats()
+        let mut total = PolicyStats::default();
+        for i in 0..self.nshards {
+            let s = self.lock_shard(i).policy.stats();
+            total.ghost_hits += s.ghost_hits;
+            total.scan_steps += s.scan_steps;
+            total.second_chances += s.second_chances;
+            total.probation_evictions += s.probation_evictions;
+            total.protected_evictions += s.protected_evictions;
+        }
+        total
     }
 
     /// Short name of the active replacement policy.
     pub fn policy_name(&self) -> &'static str {
-        self.inner.lock().policy.name()
+        self.lock_shard(0).policy.name()
     }
 
     /// Classifier confusion-matrix snapshot (§2.2 accuracy experiment).
     pub fn classifier_stats(&self) -> ClassifierStats {
-        self.inner.lock().classifier.stats()
+        self.classifier.lock().stats()
     }
 
-    fn unpin(&self, slot: usize) {
-        let mut inner = self.inner.lock();
-        let m = &mut inner.meta[slot];
+    fn unpin(&self, shard: usize, local: usize) {
+        let mut sh = self.lock_shard(shard);
+        let m = &mut sh.meta[local];
         debug_assert!(m.pin > 0, "unpin of unpinned frame");
         m.pin -= 1;
     }
 
-    fn mark_dirty(&self, slot: usize, pid: PageId, now: Time) {
-        let mut inner = self.inner.lock();
-        let m = &mut inner.meta[slot];
+    fn mark_dirty(&self, shard: usize, local: usize, pid: PageId, now: Time) {
+        let mut sh = self.lock_shard(shard);
+        let m = &mut sh.meta[local];
         debug_assert_eq!(m.pid, Some(pid));
         if !m.dirty {
             m.dirty = true;
-            drop(inner);
+            sh.link_dirty(local);
+            drop(sh);
             // First dirtying invalidates any SSD copy (paper §2.2).
             self.layer.note_dirtied(now, pid);
         }
@@ -538,6 +777,9 @@ impl BufferPool {
 /// A pinned page. Dropping the guard unpins the frame.
 pub struct PageGuard<'a> {
     pool: &'a BufferPool,
+    shard: usize,
+    local: usize,
+    /// Global data-slot index (`bases[shard] + local`).
     slot: usize,
     pid: PageId,
 }
@@ -556,14 +798,14 @@ impl PageGuard<'_> {
     /// any SSD copy on the first dirtying.
     pub fn write<R>(&mut self, now: Time, f: impl FnOnce(&mut [u8]) -> R) -> R {
         let r = f(self.pool.data[self.slot].write().as_mut_slice());
-        self.pool.mark_dirty(self.slot, self.pid, now);
+        self.pool.mark_dirty(self.shard, self.local, self.pid, now);
         r
     }
 }
 
 impl Drop for PageGuard<'_> {
     fn drop(&mut self) {
-        self.pool.unpin(self.slot);
+        self.pool.unpin(self.shard, self.local);
     }
 }
 
@@ -576,10 +818,19 @@ mod tests {
     const PS: usize = 32;
 
     fn pool(frames: usize, db_pages: u64) -> (Arc<IoManager>, BufferPool) {
+        pool_sharded(frames, db_pages, ShardCount::Fixed(1))
+    }
+
+    fn pool_sharded(
+        frames: usize,
+        db_pages: u64,
+        shards: ShardCount,
+    ) -> (Arc<IoManager>, BufferPool) {
         let io = Arc::new(IoManager::new(&DeviceSetup::paper(PS, db_pages, 8)));
         let layer = Arc::new(DirectIo::new(Arc::clone(&io)));
         let mut cfg = BufferPoolConfig::new(frames, PS, db_pages);
         cfg.fill_expansion = 1; // keep unit tests one-page-per-miss
+        cfg.shards = shards;
         (io, BufferPool::new(cfg, layer))
     }
 
@@ -731,6 +982,7 @@ mod tests {
         let layer = Arc::new(DirectIo::new(Arc::clone(&io)));
         let mut cfg = BufferPoolConfig::new(16, PS, 64);
         cfg.fill_expansion = 8;
+        cfg.shards = ShardCount::Fixed(1);
         let p = BufferPool::new(cfg, layer);
         let mut clk = Clk::new();
         p.get(&mut clk, PageId(10), Locality::Random).unwrap();
@@ -749,5 +1001,76 @@ mod tests {
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sharded_pool_round_trips_and_folds_counters() {
+        let (_io, p) = pool_sharded(16, 256, ShardCount::Fixed(4));
+        assert_eq!(p.shard_count(), 4);
+        let mut clk = Clk::new();
+        for i in 0..32u64 {
+            let mut g = p.get(&mut clk, PageId(i), Locality::Random).unwrap();
+            g.write(clk.now, |b| b[0] = i as u8);
+        }
+        // All 16 frames across the 4 shards should be usable.
+        assert_eq!(p.resident(), 16);
+        let s = p.stats();
+        assert_eq!(s.misses, 32);
+        assert_eq!(s.evictions_clean + s.evictions_dirty, 16);
+        assert!(s.shard_acquisitions > 0, "latch acquisitions counted");
+        assert_eq!(s.shard_contended, 0, "single-threaded: never contended");
+        // Every written page reads back its byte (through eviction).
+        for i in 0..32u64 {
+            let g = p.get(&mut clk, PageId(i), Locality::Random).unwrap();
+            assert_eq!(g.read(|b| b[0]), i as u8, "page {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_writes_ascending_slots() {
+        let (io, p) = pool_sharded(16, 256, ShardCount::Fixed(4));
+        let mut clk = Clk::new();
+        for i in 0..12u64 {
+            let mut g = p.get(&mut clk, PageId(i), Locality::Random).unwrap();
+            g.write(clk.now, |b| b[0] = 0xC0 | i as u8);
+        }
+        assert_eq!(p.dirty_count(), 12);
+        p.checkpoint(&mut clk);
+        assert_eq!(p.dirty_count(), 0);
+        assert_eq!(p.stats().checkpoint_writes, 12);
+        let mut buf = [0u8; PS];
+        io.disk_store().read(PageId(7), &mut buf);
+        assert_eq!(buf[0], 0xC0 | 7);
+    }
+
+    #[test]
+    fn shard_assignment_is_pure_and_stable() {
+        let (_io, p) = pool_sharded(16, 4096, ShardCount::Fixed(4));
+        for k in 0..4096u64 {
+            assert_eq!(
+                p.shard_idx(PageId(k)),
+                shard_of(k, 4),
+                "routing is the published pure function"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_list_tracks_evictions_and_redirtying() {
+        let (_io, p) = pool(2, 64);
+        let mut clk = Clk::new();
+        {
+            let mut g = p.get(&mut clk, PageId(0), Locality::Random).unwrap();
+            g.write(clk.now, |b| b[0] = 1);
+            g.write(clk.now, |b| b[1] = 2); // second write: no double-link
+        }
+        assert_eq!(p.dirty_count(), 1);
+        // Evicting the dirty page unlinks it.
+        p.get(&mut clk, PageId(1), Locality::Random).unwrap();
+        p.get(&mut clk, PageId(2), Locality::Random).unwrap();
+        assert!(!p.contains(PageId(0)));
+        assert_eq!(p.dirty_count(), 0);
+        p.checkpoint(&mut clk);
+        assert_eq!(p.stats().checkpoint_writes, 0, "nothing left to write");
     }
 }

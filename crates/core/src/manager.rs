@@ -190,8 +190,8 @@ impl SsdManager {
             return;
         }
         SsdMetrics::bump(&self.metrics.ssd_quarantined);
-        for p in &self.parts {
-            let mut part = p.lock();
+        for i in 0..self.parts.len() {
+            let mut part = self.part_at(i);
             let idxs: Vec<usize> = part.iter().map(|(idx, _)| idx).collect();
             let mut recs = Vec::with_capacity(idxs.len());
             for idx in idxs {
@@ -347,7 +347,20 @@ impl SsdManager {
     }
 
     fn part(&self, pid: PageId) -> MutexGuard<'_, Partition> {
-        self.parts[self.part_index(pid)].lock()
+        self.part_at(self.part_index(pid))
+    }
+
+    /// Acquire partition `idx`'s latch, counting the acquisition and
+    /// whether it was contended (latch held by another OS thread at that
+    /// instant). Both counters are pure functions of the op sequence in
+    /// deterministic driver runs (contended is then always 0).
+    fn part_at(&self, idx: usize) -> MutexGuard<'_, Partition> {
+        SsdMetrics::bump(&self.metrics.shard_acquisitions);
+        if let Some(g) = self.parts[idx].try_lock() {
+            return g;
+        }
+        SsdMetrics::bump(&self.metrics.shard_contended);
+        self.parts[idx].lock()
     }
 
     fn next_stamp(&self) -> u64 {
@@ -551,7 +564,7 @@ impl SsdManager {
         pending: &mut Option<IoError>,
         stranded_out: &mut Option<PageId>,
     ) {
-        let mut buf = vec![0u8; self.io.page_size()];
+        let mut buf = self.buf_pool.lease();
         let mut tmp = Clk::at(now);
         match self.ssd_read(&mut tmp, frame, &mut buf) {
             Ok(()) => {
@@ -576,8 +589,8 @@ impl SsdManager {
     /// skipped defensively.
     pub fn export_table(&self) -> Vec<(PageId, u64)> {
         let mut out = Vec::with_capacity(self.occupancy() as usize);
-        for p in &self.parts {
-            let part = p.lock();
+        for i in 0..self.parts.len() {
+            let part = self.part_at(i);
             out.extend(
                 part.iter()
                     .filter(|(_, r)| !r.dirty)
@@ -606,7 +619,7 @@ impl SsdManager {
             // The frame must belong to the partition that pid routes to
             // (it does unless the partition count changed across restart).
             let part_idx = self.part_index(pid);
-            let mut part = self.parts[part_idx].lock();
+            let mut part = self.part_at(part_idx);
             let base = part.frame_no(0);
             let cap = part.capacity() as u64;
             if frame < base || frame >= base + cap {
@@ -645,7 +658,7 @@ impl SsdManager {
             attempted: entries.len(),
             ..ImportReport::default()
         };
-        let mut buf = vec![0u8; self.io.page_size()];
+        let mut buf = self.buf_pool.lease();
         for &(pid, frame) in entries {
             if self.is_quarantined() {
                 rep.aborted_dead = true;
@@ -678,7 +691,7 @@ impl SsdManager {
                 }
             }
             let part_idx = self.part_index(pid);
-            let mut part = self.parts[part_idx].lock();
+            let mut part = self.part_at(part_idx);
             let base = part.frame_no(0);
             let cap = part.capacity() as u64;
             if frame < base || frame >= base + cap {
@@ -712,8 +725,8 @@ impl SsdManager {
         }
         // Globally oldest dirty page.
         let mut anchor: Option<(u64, u64, PageId)> = None;
-        for p in &self.parts {
-            let part = p.lock();
+        for i in 0..self.parts.len() {
+            let part = self.part_at(i);
             if let Some((key, idx)) = part.peek_dirty_oldest() {
                 let pid = part.record(idx).pid;
                 if anchor.map(|(k0, k1, _)| key < (k0, k1)).unwrap_or(true) {
@@ -1256,8 +1269,8 @@ impl PageIo for SsdManager {
         }
         // Sharp checkpoint: every dirty SSD page goes to disk (§3.2).
         let mut dirty_pids: Vec<PageId> = Vec::new();
-        for p in &self.parts {
-            let part = p.lock();
+        for i in 0..self.parts.len() {
+            let part = self.part_at(i);
             dirty_pids.extend(part.iter().filter(|(_, r)| r.dirty).map(|(_, r)| r.pid));
         }
         dirty_pids.sort_unstable();
@@ -1287,19 +1300,23 @@ impl PageIo for SsdManager {
                     };
                     part.frame_no(idx)
                 };
-                let mut buf = vec![0u8; self.io.page_size()];
+                let mut buf = self.buf_pool.take();
                 match self.ssd_read(clk, frame, &mut buf) {
                     Ok(()) => {
                         pids.push(*pid);
                         bufs.push(buf);
                     }
                     Err(e) => {
+                        self.buf_pool.put(buf);
                         self.note_ssd_error(&e);
                         self.drop_corrupt(*pid);
                     }
                 }
             }
             let (cleaned, _writes) = self.flush_gathered(clk, &pids, &bufs);
+            for buf in bufs {
+                self.buf_pool.put(buf);
+            }
             total += cleaned;
             i = j;
         }

@@ -1,103 +1,6 @@
-//! Reusable page-buffer pool for the SSD manager's gather/flush paths.
-//!
-//! `SsdManager::clean_batch` reads up to α pages from the SSD into
-//! page-sized staging buffers before writing them to disk as one run.
-//! Allocating those `Vec<u8>`s fresh per batch puts an allocator
-//! round-trip on the cleaner's hot path (measured in `benches/micro.rs`,
-//! `page_buf_*`); this pool recycles them instead.
-//!
-//! The spare list is its own innermost lock class (`spare` in
-//! `lock_order.toml`): `take`/`put` acquire it only inside this module
-//! and never while any other workspace lock is held.
+//! Historical home of [`PageBufPool`]; the implementation moved down to
+//! `turbopool_iosim::pagebuf` so the DRAM buffer pool (which `core`
+//! depends on, not the reverse) can share it. This module re-exports it
+//! to keep `turbopool_core::PageBufPool` paths working.
 
-use turbopool_iosim::sync::Mutex;
-
-/// A bounded free list of page-sized byte buffers.
-pub struct PageBufPool {
-    page_size: usize,
-    /// Recycled buffers, each exactly `page_size` bytes.
-    spare: Mutex<Vec<Vec<u8>>>,
-    /// Maximum buffers kept; beyond this, `put` lets them drop.
-    cap: usize,
-}
-
-impl PageBufPool {
-    /// A pool handing out `page_size`-byte buffers, retaining at most
-    /// `cap` spares.
-    pub fn new(page_size: usize, cap: usize) -> Self {
-        assert!(page_size > 0);
-        PageBufPool {
-            page_size,
-            spare: Mutex::new(Vec::new()),
-            cap,
-        }
-    }
-
-    pub fn page_size(&self) -> usize {
-        self.page_size
-    }
-
-    /// Get a `page_size`-byte buffer. Contents are unspecified — callers
-    /// must fully overwrite it (every user reads a whole page into it).
-    pub fn take(&self) -> Vec<u8> {
-        let recycled = {
-            let mut s = self.spare.lock();
-            s.pop()
-        };
-        recycled.unwrap_or_else(|| vec![0u8; self.page_size])
-    }
-
-    /// Return a buffer to the pool. Wrong-sized buffers (callers that
-    /// truncated or grew it) and overflow beyond `cap` are dropped.
-    pub fn put(&self, buf: Vec<u8>) {
-        if buf.len() != self.page_size {
-            return;
-        }
-        let mut s = self.spare.lock();
-        if s.len() < self.cap {
-            s.push(buf);
-        }
-    }
-
-    /// Spare buffers currently retained (tests and metrics).
-    pub fn spares(&self) -> usize {
-        self.spare.lock().len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn take_put_recycles_allocations() {
-        let pool = PageBufPool::new(512, 4);
-        let a = pool.take();
-        assert_eq!(a.len(), 512);
-        pool.put(a);
-        assert_eq!(pool.spares(), 1);
-        let b = pool.take();
-        assert_eq!(b.len(), 512);
-        assert_eq!(pool.spares(), 0);
-        pool.put(b);
-        assert_eq!(pool.spares(), 1);
-    }
-
-    #[test]
-    fn cap_bounds_retention() {
-        let pool = PageBufPool::new(64, 2);
-        let bufs: Vec<_> = (0..5).map(|_| pool.take()).collect();
-        for b in bufs {
-            pool.put(b);
-        }
-        assert_eq!(pool.spares(), 2);
-    }
-
-    #[test]
-    fn wrong_size_buffers_are_dropped() {
-        let pool = PageBufPool::new(64, 2);
-        pool.put(vec![0u8; 63]);
-        pool.put(Vec::new());
-        assert_eq!(pool.spares(), 0);
-    }
-}
+pub use turbopool_iosim::pagebuf::{PageBufPool, PageLease};

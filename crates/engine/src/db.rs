@@ -42,6 +42,9 @@ pub struct Database {
     next_tx: AtomicU64,
     alloc: AtomicU64,
     catalog: Mutex<Catalog>,
+    /// Recycled page-sized scratch buffers for the transaction hot path
+    /// (zero-page serving, write_page before-images).
+    bufs: turbopool_iosim::PageBufPool,
 }
 
 impl Database {
@@ -67,7 +70,14 @@ impl Database {
                 None,
             ),
             Some(scfg) if scfg.design == SsdDesign::Tac => {
-                let t = Arc::new(TacCache::new(scfg.clone(), Arc::clone(&io)));
+                // Resolve the engine-level shard knob into a fixed count
+                // here so the cache never consults host parallelism.
+                let mut scfg = scfg.clone();
+                scfg.tac_shards = turbopool_bufpool::ShardCount::Fixed(
+                    cfg.tac_shards
+                        .resolve(cfg.shard_hint, scfg.frames.max(1) as usize),
+                );
+                let t = Arc::new(TacCache::new(scfg, Arc::clone(&io)));
                 (Arc::clone(&t) as Arc<dyn PageIo>, None, Some(t))
             }
             Some(scfg) => {
@@ -79,8 +89,11 @@ impl Database {
         pcfg.fill_expansion = cfg.fill_expansion;
         pcfg.classifier = cfg.classifier;
         pcfg.replacement = cfg.replacement;
+        pcfg.shards = cfg.pool_shards;
+        pcfg.shard_hint = cfg.shard_hint;
         let pool = BufferPool::new(pcfg, Arc::clone(&layer));
         let log = log.unwrap_or_else(|| LogManager::new(Arc::clone(&io)));
+        let bufs = turbopool_iosim::PageBufPool::new(cfg.page_size, 8);
         Database {
             cfg,
             io,
@@ -96,7 +109,13 @@ impl Database {
                 indexes: Vec::new(),
                 names: HashMap::new(),
             }),
+            bufs,
         }
+    }
+
+    /// The engine's scratch-buffer pool (page-sized, recycled).
+    pub(crate) fn page_bufs(&self) -> &turbopool_iosim::PageBufPool {
+        &self.bufs
     }
 
     // ------------------------------------------------------------------

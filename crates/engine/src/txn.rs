@@ -129,11 +129,12 @@ impl<'d, 'c> Txn<'d, 'c> {
             // back past its children). Poison instead of panicking so the
             // access method unwinds and the caller sees the error.
             self.poison(e);
-            return f(&vec![0u8; self.db.page_size()]);
+            return f(&self.db.page_bufs().lease_zeroed());
         }
         if self.db.is_fresh(pid) {
-            // Never-written page: reads as zeroes with no I/O and no frame.
-            return f(&vec![0u8; self.db.page_size()]);
+            // Never-written page: reads as zeroes with no I/O and no frame
+            // (the scratch lease recycles, so no allocation either).
+            return f(&self.db.page_bufs().lease_zeroed());
         }
         match self.db.get_with_salvage(self.clk, pid, class) {
             Ok(g) => g.read(f),
@@ -142,7 +143,7 @@ impl<'d, 'c> Txn<'d, 'c> {
                 // the transaction and serve zeroes so the access method can
                 // unwind without a panic.
                 self.poison(e);
-                f(&vec![0u8; self.db.page_size()])
+                f(&self.db.page_bufs().lease_zeroed())
             }
         }
     }
@@ -173,10 +174,13 @@ impl<'d, 'c> Txn<'d, 'c> {
             }
             self.overlay.insert(pid, buf);
         }
+        // Snapshot the pre-image into a recycled scratch buffer (a fresh
+        // PageBuf clone per write_page is the old allocation hot spot).
+        let mut before = self.db.page_bufs().lease();
         let page = self.overlay.get_mut(&pid).unwrap();
-        let before = page.clone();
+        before.copy_from_slice(page.as_slice());
         let r = f(page.as_mut_slice());
-        for (offset, data) in diff_ranges(before.as_slice(), page.as_slice()) {
+        for (offset, data) in diff_ranges(&before, page.as_slice()) {
             self.ops.push(LogRecord::PageWrite {
                 txid: self.id,
                 pid,

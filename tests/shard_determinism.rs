@@ -1,0 +1,271 @@
+//! Determinism gate for the sharded hot path (ISSUE 9): for every SSD
+//! design and every shard count in {1, 4, 16}, the parallel driver at
+//! 2/4/8 worker threads must be **bit-identical** to the sequential
+//! driver — same client steps, same final virtual times, same SSD and
+//! buffer-pool counters (including the new per-shard lock counters:
+//! acquisitions are a pure function of the op sequence and contended
+//! acquisitions are zero in share-nothing deterministic runs), and
+//! byte-identical page images on both stores.
+//!
+//! Two further gates ride along:
+//! * `ShardCount::Fixed(1)` must reproduce the default configuration
+//!   (`Auto` resolving against the engine's shard hint of 1) exactly —
+//!   the legacy single-latch behavior is the `shards = 1` special case,
+//!   not a separate code path.
+//! * The invariant auditor must stay clean across the whole grid.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use turbopool::bufpool::ShardCount;
+use turbopool::core::{SsdConfig, SsdDesign};
+use turbopool::engine::{Database, DbConfig, HeapId};
+use turbopool::iosim::fault::checksum;
+use turbopool::iosim::rng::{Rng, SeedableRng, SmallRng};
+use turbopool::iosim::store::PageStore;
+use turbopool::iosim::{Clk, PageId, MICROSECOND, SECOND};
+use turbopool::workload::driver::{CleanerClient, Client, Driver, StepResult};
+
+const DOMAINS: usize = 2;
+const CLIENTS_PER_DOMAIN: usize = 3;
+const OPS_PER_CLIENT: usize = 80;
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Virtual horizon; generous enough that every client drains its op
+/// budget (asserted below via `final_times`).
+const END: u64 = 30 * SECOND;
+
+/// Same transaction-stream client as `driver_determinism`: inserts,
+/// updates and point reads from a per-client seeded RNG.
+struct HeapClient {
+    db: Arc<Database>,
+    heap: HeapId,
+    rng: SmallRng,
+    rids: Vec<u64>,
+    remaining: usize,
+    final_time: Arc<AtomicU64>,
+}
+
+impl Client for HeapClient {
+    fn step(&mut self, clk: &mut Clk) -> StepResult {
+        if self.remaining == 0 {
+            self.final_time.store(clk.now, Ordering::Relaxed);
+            return StepResult::Done;
+        }
+        self.remaining -= 1;
+        clk.elapse(10 * MICROSECOND);
+        let mut txn = self.db.begin(clk);
+        let kind = self.rng.gen_range(0u32..4);
+        if kind == 0 || self.rids.is_empty() {
+            let v: u8 = self.rng.gen();
+            let mut rec = [0u8; 32];
+            rec[0] = v;
+            if let Ok(rid) = txn.heap_insert(self.heap, &rec) {
+                self.rids.push(rid);
+            }
+        } else {
+            let rid = self.rids[self.rng.gen_range(0..self.rids.len() as u64) as usize];
+            if kind == 1 {
+                if let Some(mut rec) = txn.heap_get(self.heap, rid) {
+                    rec[1] = rec[1].wrapping_add(1);
+                    txn.heap_update(self.heap, rid, &rec);
+                }
+            } else {
+                txn.heap_get(self.heap, rid);
+            }
+        }
+        assert!(txn.commit().is_committed());
+        StepResult::Continue
+    }
+}
+
+struct Scenario {
+    driver: Driver,
+    dbs: Vec<Arc<Database>>,
+    final_times: Vec<Arc<AtomicU64>>,
+}
+
+/// Build a driver over `DOMAINS` share-nothing databases with the given
+/// shard configuration applied to both the DRAM pool and the TAC table.
+fn build(design: SsdDesign, seed: u64, shards: Option<usize>) -> Scenario {
+    let mut dbs = Vec::new();
+    let mut final_times = Vec::new();
+    let mut driver = Driver::new();
+    let mut min_service = u64::MAX;
+    for domain in 0..DOMAINS {
+        let mut cfg = DbConfig::small_for_tests();
+        cfg.db_pages = 1024;
+        cfg.mem_frames = 4;
+        let mut s = SsdConfig::new(design, 64);
+        s.partitions = 2;
+        cfg.ssd = Some(s);
+        if let Some(n) = shards {
+            cfg.pool_shards = ShardCount::Fixed(n);
+            cfg.tac_shards = ShardCount::Fixed(n);
+        }
+        let db = Arc::new(Database::open(cfg));
+        let mut clk = Clk::new();
+        let heap = db.create_heap(&mut clk, "data", 32, 256);
+        min_service = min_service.min(db.io().setup().min_service_ns());
+        for c in 0..CLIENTS_PER_DOMAIN {
+            let final_time = Arc::new(AtomicU64::new(0));
+            driver.add_in_domain(
+                domain,
+                0,
+                Box::new(HeapClient {
+                    db: Arc::clone(&db),
+                    heap,
+                    rng: SmallRng::seed_from_u64(
+                        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (domain * 10 + c) as u64,
+                    ),
+                    rids: Vec::new(),
+                    remaining: OPS_PER_CLIENT,
+                    final_time: Arc::clone(&final_time),
+                }),
+            );
+            final_times.push(final_time);
+        }
+        if let Some(cleaner) = CleanerClient::for_db(&db) {
+            driver.add_in_domain(domain, 0, Box::new(cleaner));
+        }
+        dbs.push(db);
+    }
+    // Tiny lookahead: many window merges per run.
+    driver.set_lookahead(min_service.saturating_mul(16));
+    Scenario {
+        driver,
+        dbs,
+        final_times,
+    }
+}
+
+fn store_fingerprint(store: &dyn PageStore) -> u64 {
+    let mut buf = vec![0u8; store.page_size()];
+    let mut h = 0u64;
+    for pid in 0..store.num_pages() {
+        store.read(PageId(pid), &mut buf);
+        h = h.rotate_left(7) ^ checksum(&buf);
+    }
+    h
+}
+
+/// Everything the gate compares per run, including the new per-shard
+/// lock counters (inside `PoolStats` and `SsdMetricsSnapshot`).
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    steps: u64,
+    scheduled_clocks: Vec<(usize, u64)>,
+    final_times: Vec<u64>,
+    ssd_metrics: Vec<Option<turbopool::core::metrics::SsdMetricsSnapshot>>,
+    pool: Vec<turbopool::bufpool::PoolStats>,
+    policy: Vec<turbopool::bufpool::PolicyStats>,
+    disk_images: Vec<u64>,
+    ssd_images: Vec<u64>,
+}
+
+fn outcome(s: &Scenario) -> Outcome {
+    for db in &s.dbs {
+        if let Some(m) = db.ssd_metrics() {
+            assert_eq!(m.audit_violations, 0, "invariant auditor saw violations");
+        }
+    }
+    Outcome {
+        steps: s.driver.steps(),
+        scheduled_clocks: s.driver.clocks(),
+        final_times: s
+            .final_times
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .collect(),
+        ssd_metrics: s.dbs.iter().map(|db| db.ssd_metrics()).collect(),
+        pool: s.dbs.iter().map(|db| db.pool_stats()).collect(),
+        policy: s.dbs.iter().map(|db| db.policy_stats()).collect(),
+        disk_images: s
+            .dbs
+            .iter()
+            .map(|db| store_fingerprint(db.io().disk_store()))
+            .collect(),
+        ssd_images: s
+            .dbs
+            .iter()
+            .map(|db| store_fingerprint(db.io().ssd_store()))
+            .collect(),
+    }
+}
+
+fn run(design: SsdDesign, seed: u64, shards: Option<usize>, threads: usize) -> Outcome {
+    let mut s = build(design, seed, shards);
+    if threads <= 1 {
+        s.driver.run_until(END);
+    } else {
+        s.driver.run_until_parallel(END, threads);
+    }
+    let out = outcome(&s);
+    assert!(
+        out.final_times.iter().all(|&t| t > 0),
+        "horizon too short: a client did not drain its op budget"
+    );
+    out
+}
+
+/// The full grid for one design: every shard count must replay
+/// bit-identically at every driver thread count, and contended shard
+/// acquisitions must be zero (driver domains are share-nothing).
+fn grid(design: SsdDesign) {
+    let seed = 0x51AD * 1000 + design as u64;
+    for &shards in &SHARD_COUNTS {
+        let seq = run(design, seed, Some(shards), 1);
+        for m in seq.pool.iter() {
+            assert_eq!(
+                m.shard_contended, 0,
+                "{design:?}/{shards}: contended pool shard acquisition in a deterministic run"
+            );
+        }
+        for m in seq.ssd_metrics.iter().flatten() {
+            assert_eq!(
+                m.shard_contended, 0,
+                "{design:?}/{shards}: contended SSD shard acquisition in a deterministic run"
+            );
+        }
+        for &threads in &THREADS {
+            let par = run(design, seed, Some(shards), threads);
+            assert_eq!(
+                seq, par,
+                "{design:?} diverged: shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cw_replays_identically_at_every_shard_count() {
+    grid(SsdDesign::CleanWrite);
+}
+
+#[test]
+fn dw_replays_identically_at_every_shard_count() {
+    grid(SsdDesign::DualWrite);
+}
+
+#[test]
+fn lc_replays_identically_at_every_shard_count() {
+    grid(SsdDesign::LazyCleaning);
+}
+
+#[test]
+fn tac_replays_identically_at_every_shard_count() {
+    grid(SsdDesign::Tac);
+}
+
+/// `Fixed(1)` is the legacy configuration, and the default (`Auto`
+/// against the engine's shard hint of 1) must resolve to exactly it.
+#[test]
+fn one_shard_matches_default_config_bit_for_bit() {
+    for design in [SsdDesign::LazyCleaning, SsdDesign::Tac] {
+        let seed = 0xDEFA * 100 + design as u64;
+        let fixed = run(design, seed, Some(1), 1);
+        let auto = run(design, seed, None, 1);
+        assert_eq!(fixed, auto, "{design:?}: Fixed(1) != default Auto config");
+    }
+}
